@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark regenerates its paper figure, asserts the
+reproduction's shape check, and writes the rendered figure (the "rows the
+paper reports") to ``benchmarks/results/<figure>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_figure(results_dir):
+    """save_figure(figure_result) -> renders, persists, and shape-checks."""
+    from repro.bench import check_figure, render_figure
+
+    def _save(result, extra: str = ""):
+        text = render_figure(result)
+        if extra:
+            text += "\n" + extra
+        (results_dir / f"{result.figure_id}.txt").write_text(text + "\n")
+        ok, detail = check_figure(result)
+        assert ok, f"{result.figure_id} failed its shape check: {detail}"
+        return text
+
+    return _save
+
+
+def save_table(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")

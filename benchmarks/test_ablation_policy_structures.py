@@ -1,0 +1,136 @@
+"""abl1 — policy-structure ablation (paper §3.1 / §4.2 speculation).
+
+Measures, for each candidate index structure, (a) real wall-time per
+check via pytest-benchmark and (b) entry comparisons per check across
+region counts, for the two workload shapes the paper discusses: the
+compliant common case ("we expect modules to be compliant with policies
+for nearly every access") and a deny-heavy stray-access case.
+"""
+
+import random
+
+import pytest
+
+from repro import abi
+from repro.policy import CachedIndex, Region, STRUCTURES, make_index
+
+from conftest import save_table
+
+RW = abi.FLAG_READ | abi.FLAG_WRITE
+
+
+def build_index(kind: str, n: int, cached: bool = False):
+    idx = make_index(kind, cached=cached)
+    for i in range(n):
+        idx.add(Region(0x4000_0000 + i * 0x10000, 0x1000, RW))
+    return idx
+
+
+def compliant_workload(n: int, count: int = 512, seed: int = 3):
+    rng = random.Random(seed)
+    regions = [0x4000_0000 + i * 0x10000 for i in range(n)]
+    # Popularity-skewed, like real drivers: mostly the same few regions.
+    out = []
+    for _ in range(count):
+        base = regions[0] if rng.random() < 0.7 else rng.choice(regions)
+        out.append((base + rng.randrange(0xFF8), 8, abi.FLAG_READ))
+    return out
+
+
+def stray_workload(count: int = 512, seed: int = 4):
+    rng = random.Random(seed)
+    return [(rng.randrange(1 << 44), 8, abi.FLAG_READ) for _ in range(count)]
+
+
+@pytest.mark.parametrize("kind", sorted(STRUCTURES))
+@pytest.mark.parametrize("n", [4, 64])
+def test_structure_walltime(benchmark, kind, n):
+    """Real Python wall-time of 512 compliant checks per structure."""
+    idx = build_index(kind, n)
+    ops = compliant_workload(n)
+
+    def run():
+        total = 0
+        for addr, size, flags in ops:
+            allowed, scanned = idx.check(addr, size, flags)
+            total += scanned
+        return total
+
+    total = benchmark(run)
+    assert total >= len(ops)
+
+
+def test_entries_scanned_comparison(results_dir):
+    """The crossover table: average comparisons per check by structure."""
+    rows = [
+        f"{'structure':<22}{'n':>6}{'compliant':>12}{'stray':>10}",
+        "-" * 50,
+    ]
+    summary = {}
+    for n in (2, 8, 64, 256, 1024):
+        for kind in sorted(STRUCTURES):
+            for cached in (False, True):
+                if n > 64 and kind == "linear" and not cached:
+                    pass  # the paper's table tops out at 64; we sweep past
+                idx = make_index(kind, cached=cached)
+                # Lift the 64-entry cap for the sweep (the paper: "If a
+                # policy scheme wanted to consider many regions, an
+                # O(log(n)) model could clearly be employed").
+                inner = idx.inner if isinstance(idx, CachedIndex) else idx
+                inner.max_regions = 1 << 20
+                for i in range(n):
+                    idx.add(Region(0x4000_0000 + i * 0x10000, 0x1000, RW))
+                comp = compliant_workload(n)
+                stray = stray_workload()
+                c_scans = sum(idx.check(*op)[1] for op in comp) / len(comp)
+                s_scans = sum(idx.check(*op)[1] for op in stray) / len(stray)
+                name = idx.name
+                rows.append(f"{name:<22}{n:>6}{c_scans:>12.2f}{s_scans:>10.2f}")
+                summary[(name, n)] = (c_scans, s_scans)
+        rows.append("")
+    save_table(results_dir, "abl1_policy_structures", "\n".join(rows))
+
+    # The paper's speculations, as assertions:
+    # 1. linear scan degrades linearly; sorted search logarithmically.
+    assert summary[("linear-table", 1024)][0] > 50
+    assert summary[("sorted-bsearch", 1024)][0] < 15
+    # 2. the cache wins the compliant common case at scale — but only
+    #    over a cheap-miss structure; cache + linear still pays the full
+    #    scan on every miss (a finding the paper's speculation glosses).
+    assert summary[("cached(sorted-bsearch)", 1024)][0] < 10
+    assert summary[("cached(sorted-bsearch)", 1024)][0] < summary[
+        ("sorted-bsearch", 1024)
+    ][0]
+    assert summary[("cached(linear-table)", 1024)][0] > 50
+    # 3. the AMQ filter makes stray *denies* cheap even at large n.
+    assert summary[("amq-bloom", 1024)][1] < 5
+    # 4. at tiny n the plain table is already near-optimal (why the
+    #    paper shipped it).
+    assert summary[("linear-table", 2)][0] <= 2.0
+
+
+def test_structures_on_live_system(results_dir):
+    """End-to-end: swap each structure under the real driver workload and
+    compare guard-visible scan counts (the simulated-cycle story)."""
+    from repro.bench.harness import WorkloadConfig, calibrate
+    from repro.core.system import CaratKopSystem, SystemConfig
+
+    rows = [f"{'structure':<22}{'entries/guard':>14}"]
+    for kind in sorted(STRUCTURES):
+        sys_ = CaratKopSystem(
+            SystemConfig(machine="r350", policy_index=make_index(kind))
+        )
+        # The standard policy needs overlap for linear only; others get
+        # the same decisions from the disjoint variant.
+        if not sys_.policy.index.supports_overlap:
+            sys_.policy_manager.clear()
+            sys_.policy_manager.allow(
+                0xFFFF_8000_0000_0000, (1 << 64) - 0xFFFF_8000_0000_0000
+            )
+            sys_.policy_manager.set_default(False)
+        sys_.blast(size=128, count=60)
+        stats = sys_.guard_stats()
+        per_guard = stats["entries_scanned"] / stats["checks"]
+        rows.append(f"{sys_.policy.index.name:<22}{per_guard:>14.2f}")
+        assert stats["denied"] == 0
+    save_table(results_dir, "abl1_live_system", "\n".join(rows))

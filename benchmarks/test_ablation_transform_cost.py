@@ -1,0 +1,95 @@
+"""abl3 — engineering effort and transform cost (paper §4.1).
+
+Paper: "The e1000e driver in the Linux tree comprises about 19,000 lines
+of source code ... No code was modified in the driver ... the engineering
+effort needed to use CARAT KOP for a new kernel module is virtually
+non-existent."  This bench quantifies the transform itself: compile time,
+code growth, and guard density across modules of different shapes.
+"""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.e1000e import DRIVER_SOURCE, driver_source_lines
+
+from conftest import save_table
+
+TOY_MODULES = {
+    "compute-only": """
+        __export long f(long a, long b) {
+            long acc = 0;
+            for (long i = 0; i < 64; i++) { acc += a * b + i; }
+            return acc;
+        }
+    """,
+    "memory-heavy": """
+        long table[256];
+        __export long f(long n) {
+            for (long i = 0; i < n; i++) { table[i % 256] = i; }
+            long s = 0;
+            for (long i = 0; i < 256; i++) { s += table[i]; }
+            return s;
+        }
+    """,
+}
+
+
+def test_transform_cost_table(results_dir):
+    rows = [
+        f"{'module':<16}{'src lines':>10}{'instrs':>8}{'guards':>8}"
+        f"{'growth':>8}{'guards/instr':>13}",
+    ]
+    stats = {}
+    for name, src in list(TOY_MODULES.items()) + [("e1000e", DRIVER_SOURCE)]:
+        compiled = compile_module(src, CompileOptions(module_name="m"))
+        st = compiled.stats
+        density = st.guards / max(st.instructions_before_guards, 1)
+        rows.append(
+            f"{name:<16}{st.source_lines:>10}{st.instructions_after:>8}"
+            f"{st.guards:>8}{st.code_growth:>8.2f}{density:>13.2f}"
+        )
+        stats[name] = st
+    rows += [
+        "",
+        "paper §4.1: zero source changes, one recompile — the whole",
+        f"effort for the {driver_source_lines()}-line driver "
+        "(19k lines for the real e1000e).",
+    ]
+    save_table(results_dir, "abl3_transform_cost", "\n".join(rows))
+
+    # Shape assertions.
+    assert stats["compute-only"].guards == 0
+    assert stats["memory-heavy"].guards > 0
+    assert stats["e1000e"].guards > 40
+    # Guard injection roughly doubles memory-op sites (call + bitcast per
+    # access) but never explodes the module.
+    for st in stats.values():
+        assert st.code_growth < 2.5
+
+
+def test_no_source_changes_needed():
+    """Both builds consume the identical source text — §4.1 verbatim."""
+    base = compile_module(
+        DRIVER_SOURCE, CompileOptions(module_name="e1000e", protect=False)
+    )
+    carat = compile_module(
+        DRIVER_SOURCE, CompileOptions(module_name="e1000e", protect=True)
+    )
+    assert base.source_lines == carat.source_lines == driver_source_lines()
+
+
+def test_baseline_compile_benchmark(benchmark):
+    benchmark(
+        compile_module,
+        DRIVER_SOURCE,
+        CompileOptions(module_name="e1000e", protect=False),
+    )
+
+
+def test_protected_compile_benchmark(benchmark):
+    """The transform's compile-time cost over the baseline build."""
+    benchmark(
+        compile_module,
+        DRIVER_SOURCE,
+        CompileOptions(module_name="e1000e", protect=True),
+    )

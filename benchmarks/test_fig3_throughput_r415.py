@@ -1,0 +1,42 @@
+"""Figure 3: CARAT KOP effect on packet launch throughput, slow R415.
+
+Paper: "Two regions are used.  Packet size is 128.  The effect is
+minimal ... The median throughput changes by only about 1,000 packets per
+second, a relative change of <0.8%."
+"""
+
+import numpy as np
+
+from repro.bench import run_fig3
+from repro.bench.harness import WorkloadConfig, build_system, calibrate
+from repro.bench.stats import relative_median_change
+
+
+def test_fig3_reproduction(save_figure):
+    result = run_fig3(trials=41)
+    delta = relative_median_change(
+        result.series["baseline"], result.series["carat"]
+    )
+    med_b = float(np.median(result.series["baseline"]))
+    med_c = float(np.median(result.series["carat"]))
+    rows = (
+        f"paper:    median delta < 0.8%, ~1,000 pps of ~120k\n"
+        f"measured: median baseline {med_b:,.0f} pps, carat {med_c:,.0f} pps, "
+        f"delta {delta * 100:.3f}% ({med_b - med_c:,.0f} pps)"
+    )
+    save_figure(result, rows)
+    assert 0 <= delta < 0.008
+    assert abs(med_b - med_c) < 2000  # "about 1,000 packets per second"
+
+
+def test_fig3_hot_path_benchmark(benchmark):
+    """Wall-time of the guarded sendmsg path on the R415 model (the
+    interpreter work behind every Figure 3 data point)."""
+    cfg = WorkloadConfig(machine="r415", protect=True)
+    system = build_system(cfg)
+    system.blast(size=128, count=32)  # warm
+    from repro.net import make_test_frame
+
+    frame = make_test_frame(128, 1)
+
+    benchmark(lambda: system.socket.sendmsg(frame))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The HPC-operator scenario from the paper's introduction.
+
+A vendor ships a custom kernel module (think: fast floating-point trap
+delivery, heartbeat timers — the paper's own FPVM/heartbeat examples).
+It has a bug: a stray pointer write that lands in core-kernel memory.
+
+Without CARAT KOP the write silently corrupts kernel state — here, the
+kernel's in-memory inode table — and the damage surfaces much later,
+far from the cause.  With CARAT KOP, the very first out-of-policy access
+is caught by a guard and the machine halts immediately with an exact
+diagnosis (paper §3.1: log + panic is the right call in production HPC).
+"""
+
+import struct
+
+from repro import (
+    CaratKopSystem,
+    KernelPanic,
+    SystemConfig,
+    compile_module,
+)
+from repro.core.pipeline import CompileOptions
+
+# A vendor module with a classic off-by-one heap overrun: it allocates a
+# table of N entries but initializes N+4 of them.
+VENDOR_MODULE = r"""
+extern void *kmalloc(long size, int flags);
+extern void kfree(void *p);
+extern int printk(char *fmt, ...);
+
+long *table;
+
+__export int vendor_init(int entries) {
+    table = (long *)kmalloc((long)entries * 8, 0);
+    /* BUG: writes past the end of the allocation. */
+    for (int i = 0; i < entries + 8; i++) {
+        table[i] = 0x4141414141414141;
+    }
+    printk("vendor module: table ready");
+    return 0;
+}
+"""
+
+
+def simulate_core_kernel_state(system):
+    """Plant a recognizable core-kernel structure right after where the
+    module's heap allocation will land (kmalloc size classes make the
+    adjacency deterministic in this scenario)."""
+    kernel = system.kernel
+    # The vendor module will kmalloc 8*28=224 bytes -> 256B size class.
+    # Allocate the neighbouring 256B chunk first and fill it with the
+    # "inode table" marker the overrun will smash.
+    victim = kernel.kmalloc_allocator.kmalloc(256)
+    kernel.address_space.write_bytes(victim, b"INODE!!!" * 32)
+    return victim
+
+
+def run(protect: bool) -> None:
+    label = "CARAT KOP" if protect else "baseline"
+    print(f"\n== inserting the buggy vendor module ({label}) ==")
+    system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+    victim = simulate_core_kernel_state(system)
+
+    if protect:
+        # The operator's policy: the module may touch only its own 256B
+        # allocation-to-be and its own globals.  Everything else: denied.
+        system.policy_manager.clear()
+        system.policy_manager.set_default(False)
+    else:
+        # No enforcement: audit-only (what running without CARAT KOP
+        # means — the module is still *guarded* but nothing is denied).
+        system.policy_manager.clear()
+        system.policy_manager.set_default(True)
+
+    vendor = compile_module(
+        VENDOR_MODULE,
+        CompileOptions(module_name="vendor_mod", key=system.signing_key),
+    )
+    loaded = system.kernel.insmod(vendor)
+    if protect:
+        # Allow the module's own globals...
+        system.policy_manager.allow_module_region(loaded)
+        # ...and exactly the allocation it is entitled to (the operator
+        # pre-carves a heap budget region for the module).
+        predicted = system.kernel.kmalloc_allocator.kmalloc(256)
+        system.kernel.kmalloc_allocator.kfree(predicted)
+        system.policy_manager.allow(predicted, 224)
+
+    try:
+        system.kernel.run_function(loaded, "vendor_init", [28])
+        data = system.kernel.address_space.read_bytes(victim, 16)
+        if b"INODE" not in data:
+            print(f"  SILENT CORRUPTION: core-kernel inode table now reads "
+                  f"{data!r}")
+            print("  ...and the kernel keeps running on corrupted state.")
+        else:
+            print("  core-kernel state intact")
+    except KernelPanic as e:
+        print(f"  caught at the *first* stray write: {e}")
+        data = system.kernel.address_space.read_bytes(victim, 16)
+        print(f"  core-kernel inode table intact: {data[:8]!r}")
+
+
+def main() -> None:
+    print(__doc__)
+    run(protect=False)
+    run(protect=True)
+
+
+if __name__ == "__main__":
+    main()

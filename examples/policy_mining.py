@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Policy mining: deriving a practical policy from an audit run.
+
+The paper's open question (§1): "the creation of memory region policies
+that are both practical and secure."  Hand-writing a 64-region firewall
+for a driver you didn't write is hard — you'd need to know where its
+rings, buffers, and MMIO windows live.
+
+The miner automates it:
+
+1. run the protected module in **audit mode** (guards log, don't panic)
+   under a representative workload;
+2. coalesce every address the guards observed into <= N regions;
+3. flip to default-deny enforcement with the mined regions.
+
+The result: the observed workload replays with zero violations, while a
+rogue access anywhere else still panics the machine.
+"""
+
+from repro import CaratKopSystem, KernelPanic, SystemConfig, compile_module
+from repro.core.pipeline import CompileOptions
+from repro.kernel import layout
+from repro.policy import PolicyMiner
+
+
+def main() -> None:
+    print(__doc__)
+    system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+
+    print("== step 1: audit run (enforce off, guards recording) ==")
+    miner = PolicyMiner(system.policy, max_regions=12)
+    with miner:
+        system.blast(size=128, count=200)
+        system.netdev.inject_rx(system.sink.last())
+        system.netdev.poll_rx()
+    print(f"  observed {len(miner.records)} guarded accesses")
+
+    print("\n== step 2: coalesce into a region budget ==")
+    mined = miner.mine(page_align=True)
+    print("  " + mined.describe().replace("\n", "\n  "))
+
+    print("\n== step 3: enforce the mined policy ==")
+    mined.install(system.policy_manager)
+    result = system.blast(size=128, count=200)
+    stats = system.guard_stats()
+    print(f"  replay: {result.errors} errors, {stats['denied']} denials "
+          f"({stats['checks']:,} checks)")
+
+    print("\n== step 4: everything else is firewalled ==")
+    rogue = compile_module(
+        "__export long peek(long a) { return *(long *)a; }",
+        CompileOptions(module_name="rogue", key=system.signing_key),
+    )
+    loaded = system.kernel.insmod(rogue)
+    probe = layout.direct_map_address(48 << 20)  # RAM the driver never used
+    try:
+        system.kernel.run_function(loaded, "peek", [probe])
+        print("  !! probe allowed — should not happen")
+    except KernelPanic as e:
+        print(f"  probe blocked: {e}")
+
+
+if __name__ == "__main__":
+    main()

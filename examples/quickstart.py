@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's whole story in one script.
+
+1. Boot a simulated kernel on the fast (R350) testbed.
+2. Install the CARAT KOP policy module and the two-region policy
+   (kernel half allowed, user half denied — paper §4.2 footnote 5).
+3. Compile the e1000e-style driver *with* the guard transform, sign it,
+   and insmod it (signature validated at insertion, §3.2).
+4. Send raw Ethernet packets through it and measure the overhead.
+5. Show what happens when a module steps out of bounds: kernel panic.
+"""
+
+from repro import CaratKopSystem, KernelPanic, SystemConfig, compile_module
+from repro.core.pipeline import CompileOptions
+
+
+def main() -> None:
+    print("== booting protected system (R350, two-region policy) ==")
+    system = CaratKopSystem(SystemConfig(machine="r350", protect=True))
+    print(f"  machine: {system.machine.name}")
+    print(f"  driver:  {system.driver_compiled.guard_count} guards injected "
+          f"into {system.driver_compiled.stats.functions} functions")
+    print(f"  policy:\n{_indent(system.policy_manager.describe())}")
+
+    print("\n== sending 2,000 raw 128B Ethernet frames ==")
+    result = system.blast(size=128, count=2000)
+    print(f"  throughput: {result.throughput_pps:,.0f} packets/sec")
+    print(f"  delivered:  {system.sink.packets} frames "
+          f"({system.sink.octets} octets) to the sink")
+    stats = system.guard_stats()
+    print(f"  guards:     {stats['checks']:,} checks, "
+          f"{stats['denied']} denied")
+
+    print("\n== same workload, unguarded baseline ==")
+    baseline = CaratKopSystem(SystemConfig(machine="r350", protect=False))
+    base_result = baseline.blast(size=128, count=2000)
+    overhead = base_result.throughput_pps / result.throughput_pps - 1
+    print(f"  baseline:   {base_result.throughput_pps:,.0f} packets/sec")
+    print(f"  overhead:   {overhead * 100:.3f}%  "
+          "(paper: <0.1% on this machine)")
+
+    print("\n== a module that reads user-half memory ==")
+    rogue = compile_module(
+        """
+        __export long snoop(long addr) {
+            long *p = (long *)addr;
+            return *p;   /* guarded: the policy decides */
+        }
+        """,
+        CompileOptions(module_name="rogue", key=system.signing_key),
+    )
+    loaded = system.kernel.insmod(rogue)
+    try:
+        system.kernel.run_function(loaded, "snoop", [0x7FFF_0000])
+        print("  !! access allowed — should not happen")
+    except KernelPanic as e:
+        print(f"  kernel panic (as designed): {e}")
+    print("\n  dmesg tail:")
+    for line in system.kernel.dmesg_log[-3:]:
+        print(f"    {line}")
+
+
+def _indent(text: str, by: str = "    ") -> str:
+    return "\n".join(by + line for line in text.splitlines())
+
+
+if __name__ == "__main__":
+    main()

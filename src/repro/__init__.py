@@ -1,0 +1,54 @@
+"""CARAT KOP reproduction: compiler-guarded kernel-module memory
+protection, fully simulated in Python.
+
+Reproduces Filipiuk et al., "CARAT KOP: Towards Protecting the Core HPC
+Kernel from Linux Kernel Modules" (ROSS '23 / SC-W 2023).  See DESIGN.md
+for the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import CaratKopSystem
+
+    system = CaratKopSystem(machine="r350", protect=True)
+    result = system.blast(size=128, count=1000)
+    print(result.throughput_pps, system.guard_stats())
+"""
+
+from . import abi
+from .core import (
+    CaratKopSystem,
+    CompileOptions,
+    CompileStats,
+    SystemConfig,
+    compile_module,
+)
+from .kernel import CompiledModule, Kernel, KernelPanic, LoadError
+from .policy import CaratPolicyModule, PolicyManager, Region, RegionTable
+from .signing import SigningKey
+from .vm import GuardViolation, MachineModel, get_machine, r350, r415
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CaratKopSystem",
+    "CaratPolicyModule",
+    "CompileOptions",
+    "CompileStats",
+    "CompiledModule",
+    "GuardViolation",
+    "Kernel",
+    "KernelPanic",
+    "LoadError",
+    "MachineModel",
+    "PolicyManager",
+    "Region",
+    "RegionTable",
+    "SigningKey",
+    "SystemConfig",
+    "abi",
+    "compile_module",
+    "get_machine",
+    "r350",
+    "r415",
+    "__version__",
+]

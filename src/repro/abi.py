@@ -1,0 +1,67 @@
+"""The CARAT KOP ABI: the contract between compiler, kernel, and policy.
+
+The paper's entire interface is one symbol (§3.1)::
+
+    void carat_guard(void* addr, size_t size, int access_flags);
+
+This module pins down that signature, the access-flag encoding, and the
+metadata keys the signer attests to, so the compiler passes, the policy
+module, and the kernel loader never drift apart.
+"""
+
+from __future__ import annotations
+
+from .ir import FunctionType, I8PTR, I32, I64, VOID
+
+#: The single symbol a protected module is linked against at insertion.
+GUARD_SYMBOL = "carat_guard"
+
+#: Access-intent flags passed as the guard's third argument.
+FLAG_READ = 0x1
+FLAG_WRITE = 0x2
+FLAG_EXEC = 0x4       # used by the CFI extension (paper §5)
+FLAG_INTRINSIC = 0x8  # used by the privileged-intrinsic extension (paper §5)
+
+#: Module metadata keys the compiler sets and the signer covers.
+META_GUARDED = "carat.guarded"
+META_GUARD_COUNT = "carat.guard_count"
+META_HAS_ASM = "carat.has_inline_asm"
+META_COMPILER = "carat.compiler"
+
+#: Identity string of our "clang 14.0.0 + CARAT KOP pass" stand-in.
+COMPILER_ID = "caratcc-0.1 (minicc + kop-guard-pass)"
+
+
+def guard_function_type() -> FunctionType:
+    """``void (i8* addr, i64 size, i32 flags)``."""
+    return FunctionType(VOID, [I8PTR, I64, I32])
+
+
+def flags_name(flags: int) -> str:
+    """Human-readable rendering of an access-flag bitmap."""
+    parts = []
+    if flags & FLAG_READ:
+        parts.append("R")
+    if flags & FLAG_WRITE:
+        parts.append("W")
+    if flags & FLAG_EXEC:
+        parts.append("X")
+    if flags & FLAG_INTRINSIC:
+        parts.append("I")
+    return "".join(parts) or "-"
+
+
+__all__ = [
+    "COMPILER_ID",
+    "FLAG_EXEC",
+    "FLAG_INTRINSIC",
+    "FLAG_READ",
+    "FLAG_WRITE",
+    "GUARD_SYMBOL",
+    "META_COMPILER",
+    "META_GUARDED",
+    "META_GUARD_COUNT",
+    "META_HAS_ASM",
+    "flags_name",
+    "guard_function_type",
+]

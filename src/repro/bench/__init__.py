@@ -1,0 +1,42 @@
+"""Benchmark harness: workload configs, calibration, figure runners."""
+
+from .harness import (
+    ALL_FIGURES,
+    Calibration,
+    FIG6_SIZES,
+    FigureResult,
+    WorkloadConfig,
+    build_system,
+    calibrate,
+    latency_samples,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    throughput_samples,
+)
+from .report import PAPER_CLAIMS, check_figure, experiments_md_rows, render_figure
+from . import stats
+
+__all__ = [
+    "ALL_FIGURES",
+    "Calibration",
+    "FIG6_SIZES",
+    "FigureResult",
+    "PAPER_CLAIMS",
+    "WorkloadConfig",
+    "build_system",
+    "calibrate",
+    "check_figure",
+    "experiments_md_rows",
+    "latency_samples",
+    "render_figure",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "stats",
+    "throughput_samples",
+]

@@ -1,0 +1,111 @@
+"""Rendering of figure results: terminal reports and EXPERIMENTS.md rows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .harness import FigureResult
+from .stats import ascii_cdf, ascii_histogram, relative_median_change
+
+#: The paper's headline claim per figure, used in the pass/fail summary.
+PAPER_CLAIMS = {
+    "fig3": "median throughput change < 0.8% (R415)",
+    "fig4": "median throughput change < 0.1% (R350)",
+    "fig5": "ordering baseline >= carat >= carat16 >= carat64, all within ~1%",
+    "fig6": "slowdown <= ~1.025, concentrated at small packets, ~1.0 by 1500B",
+    "fig7": "near-identical latency histograms; medians within ~1%",
+}
+
+
+def check_figure(result: FigureResult) -> tuple[bool, str]:
+    """Does the measured result satisfy the paper's shape claim?"""
+    fid = result.figure_id
+    if fid in ("fig3", "fig4"):
+        limit = 0.008 if fid == "fig3" else 0.001
+        delta = relative_median_change(
+            result.series["baseline"], result.series["carat"]
+        )
+        ok = -limit / 4 <= delta < limit
+        return ok, f"median delta {delta * 100:.3f}% (limit {limit * 100:.1f}%)"
+    if fid == "fig5":
+        med = result.medians()
+        ordered = (
+            med["baseline"] >= med["carat"] >= med["carat16"] >= med["carat64"]
+        )
+        worst = (med["baseline"] - med["carat64"]) / med["baseline"]
+        return (
+            ordered and worst < 0.011,
+            f"ordering={'ok' if ordered else 'VIOLATED'}, worst delta "
+            f"{worst * 100:.2f}%",
+        )
+    if fid == "fig6":
+        slow = {int(k): float(v[0]) for k, v in result.series.items()}
+        small = slow[min(slow)]
+        large = slow[max(slow)]
+        ok = (
+            max(slow.values()) <= 1.032
+            and small == max(slow.values())
+            and large <= 1.005
+        )
+        return ok, (
+            f"max slowdown {max(slow.values()):.3f} at "
+            f"{min(slow, key=lambda s: -slow[s])}B, 1500B at {large:.3f}"
+        )
+    if fid == "fig7":
+        med = {k: float(np.median(v)) for k, v in result.series.items()}
+        base, carat = med["Base"], med["Carat"]
+        delta = abs(carat - base) / base
+        return delta < 0.03, (
+            f"medians base={base:.0f}cy carat={carat:.0f}cy "
+            f"(delta {delta * 100:.2f}%)"
+        )
+    raise ValueError(f"unknown figure {fid}")
+
+
+def render_figure(result: FigureResult, width: int = 64) -> str:
+    """Terminal rendering: the figure, its summary, and the shape check."""
+    lines = [f"== {result.figure_id}: {result.title} =="]
+    fid = result.figure_id
+    if fid in ("fig3", "fig4", "fig5"):
+        lines.append(ascii_cdf(
+            {k: list(v) for k, v in result.series.items()},
+            width=width, unit="pps",
+        ))
+        for name, med in result.medians().items():
+            lines.append(f"  median[{name}] = {med:,.0f} pps")
+    elif fid == "fig6":
+        lines.append("  size   slowdown")
+        for size, v in result.series.items():
+            bar = "#" * int((float(v[0]) - 1.0) * 2000)
+            lines.append(f"  {size:>5}  {float(v[0]):.4f} {bar}")
+    elif fid == "fig7":
+        shown = {
+            k: [x for x in v if x < 4 * np.median(v)]
+            for k, v in result.series.items()
+        }
+        lines.append(ascii_histogram(shown, unit="cy"))
+        for name, v in result.series.items():
+            lines.append(
+                f"  median[{name}] = {np.median(v):,.0f} cycles "
+                "(outliers included)"
+            )
+    ok, detail = check_figure(result)
+    lines.append(f"  paper claim: {PAPER_CLAIMS[fid]}")
+    lines.append(f"  reproduction: {'PASS' if ok else 'FAIL'} — {detail}")
+    return "\n".join(lines)
+
+
+def experiments_md_rows(results: dict[str, FigureResult]) -> str:
+    """Markdown table rows of paper-vs-measured for EXPERIMENTS.md."""
+    rows = ["| figure | paper claim | measured | verdict |",
+            "|---|---|---|---|"]
+    for fid, result in sorted(results.items()):
+        ok, detail = check_figure(result)
+        rows.append(
+            f"| {fid} | {PAPER_CLAIMS[fid]} | {detail} | "
+            f"{'PASS' if ok else 'FAIL'} |"
+        )
+    return "\n".join(rows)
+
+
+__all__ = ["PAPER_CLAIMS", "check_figure", "experiments_md_rows", "render_figure"]

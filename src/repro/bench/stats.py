@@ -1,0 +1,144 @@
+"""Statistics helpers for the benchmark harness: CDFs, percentiles,
+histograms, and ASCII rendering for terminal reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation."""
+    if not len(samples):
+        raise ValueError("no samples")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def median(samples: Sequence[float]) -> float:
+    return percentile(samples, 50.0)
+
+
+def cdf_points(samples: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) pairs."""
+    xs = np.sort(np.asarray(samples, dtype=float))
+    n = len(xs)
+    if n == 0:
+        return []
+    return [(float(x), (i + 1) / n) for i, x in enumerate(xs)]
+
+
+def histogram(
+    samples: Sequence[float], bins: int = 30,
+    lo: float | None = None, hi: float | None = None,
+) -> tuple[list[float], list[int]]:
+    """(bin_edges, counts); edges has bins+1 entries."""
+    arr = np.asarray(samples, dtype=float)
+    rng = None
+    if lo is not None and hi is not None:
+        rng = (lo, hi)
+        arr = arr[(arr >= lo) & (arr <= hi)]
+    counts, edges = np.histogram(arr, bins=bins, range=rng)
+    return [float(e) for e in edges], [int(c) for c in counts]
+
+
+def summarize(samples: Sequence[float]) -> dict[str, float]:
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "n": float(len(arr)),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p5": float(np.percentile(arr, 5)),
+        "p95": float(np.percentile(arr, 95)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "std": float(arr.std()),
+    }
+
+
+def relative_median_change(baseline: Sequence[float],
+                           treatment: Sequence[float]) -> float:
+    """(median(baseline) - median(treatment)) / median(baseline).
+
+    Positive = the treatment is slower; this is the "<0.8%" style number
+    the paper quotes for each CDF figure.
+    """
+    mb = median(baseline)
+    return (mb - median(treatment)) / mb
+
+
+def ascii_cdf(
+    series: dict[str, Sequence[float]], width: int = 64, height: int = 16,
+    unit: str = "",
+) -> str:
+    """Terminal rendering of one or more CDFs, one glyph per series."""
+    glyphs = "█▓▒░#*+."
+    all_values = np.concatenate(
+        [np.asarray(v, dtype=float) for v in series.values()]
+    )
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for x, p in cdf_points(values):
+            col = min(width - 1, int((x - lo) / (hi - lo) * (width - 1)))
+            row = min(height - 1, int((1 - p) * (height - 1)))
+            grid[row][col] = glyph
+    lines = ["100% |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append("     |" + "".join(grid[r]))
+    lines.append("  0% |" + "".join(grid[-1]))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:,.0f}{unit}  ...  {hi:,.0f}{unit}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    series: dict[str, Sequence[float]], bins: int = 24, width: int = 50,
+    unit: str = "",
+) -> str:
+    """Terminal rendering of overlaid histograms."""
+    all_values = np.concatenate(
+        [np.asarray(v, dtype=float) for v in series.values()]
+    )
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    lines = []
+    glyphs = "█░"
+    counted = {
+        name: np.histogram(np.asarray(v, dtype=float), bins=bins, range=(lo, hi))[0]
+        for name, v in series.items()
+    }
+    peak = max(int(c.max()) for c in counted.values()) or 1
+    edges = np.linspace(lo, hi, bins + 1)
+    for b in range(bins):
+        label = f"{edges[b]:>10,.0f}{unit}"
+        bars = []
+        for i, name in enumerate(series):
+            n = int(counted[name][b])
+            bars.append(glyphs[i % len(glyphs)] * max(0, int(n / peak * width)))
+        lines.append(f"{label} | " + " ".join(bars))
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>10}   {legend}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ascii_cdf",
+    "ascii_histogram",
+    "cdf_points",
+    "histogram",
+    "median",
+    "percentile",
+    "relative_median_change",
+    "summarize",
+]

@@ -1,0 +1,16 @@
+"""Core orchestration: the caratcc pipeline and full-system assembly."""
+
+from .container import ContainerError, load_module, save_module
+from .pipeline import CompileOptions, CompileStats, compile_module
+from .system import CaratKopSystem, SystemConfig
+
+__all__ = [
+    "CaratKopSystem",
+    "CompileOptions",
+    "CompileStats",
+    "ContainerError",
+    "SystemConfig",
+    "compile_module",
+    "load_module",
+    "save_module",
+]

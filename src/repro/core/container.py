@@ -1,0 +1,80 @@
+"""The .kop module container: compiled modules as files.
+
+The paper's deployment story is file-shaped: the vendor compiles and
+signs a module, the operator receives a file and insmods it.  A ``.kop``
+container carries exactly what that handoff needs — the canonical IR text
+plus the signature envelope — as one JSON document.  Tampering with the
+IR inside the file is caught at insmod by the normal signature check
+(the digest covers the IR bytes, §2).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..ir import parse_module, print_module
+from ..kernel.module_loader import CompiledModule
+from ..signing import ModuleSignature
+
+FORMAT = "carat-kop-module"
+VERSION = 1
+
+
+class ContainerError(ValueError):
+    """Malformed or wrong-format .kop file."""
+
+
+def save_module(compiled: CompiledModule, path: Union[str, Path]) -> Path:
+    """Write a compiled (optionally signed) module to a .kop file."""
+    path = Path(path)
+    doc: dict = {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": compiled.name,
+        "source_lines": compiled.source_lines,
+        "ir": print_module(compiled.ir),
+    }
+    if compiled.signature is not None:
+        doc["signature"] = dict(compiled.signature.__dict__)
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def load_module(path: Union[str, Path]) -> CompiledModule:
+    """Read a .kop file back into a loadable CompiledModule.
+
+    No trust decisions happen here: the kernel's insmod validates the
+    signature against its provisioned key, exactly as for an in-memory
+    module.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise ContainerError(f"{path}: unreadable container: {e}") from e
+    if doc.get("format") != FORMAT:
+        raise ContainerError(f"{path}: not a {FORMAT} file")
+    if doc.get("version") != VERSION:
+        raise ContainerError(
+            f"{path}: unsupported container version {doc.get('version')}"
+        )
+    for field in ("name", "ir"):
+        if field not in doc:
+            raise ContainerError(f"{path}: missing field {field!r}")
+    ir = parse_module(doc["ir"])
+    signature = None
+    if "signature" in doc:
+        try:
+            signature = ModuleSignature(**doc["signature"])
+        except TypeError as e:
+            raise ContainerError(f"{path}: bad signature envelope: {e}") from e
+    return CompiledModule(
+        ir=ir,
+        signature=signature,
+        source_lines=int(doc.get("source_lines", 0)),
+    )
+
+
+__all__ = ["ContainerError", "FORMAT", "VERSION", "load_module", "save_module"]

@@ -1,0 +1,119 @@
+"""CaratKopSystem: one-call assembly of the whole testbed.
+
+Boots the kernel on a chosen machine model, installs the policy module,
+compiles the e1000e driver (baseline or protected), inserts it, brings
+the NIC up against a packet sink, and hands back a raw socket + blaster —
+the complete Figure 1 picture plus the §4 testbed, ready for experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..e1000e import DRIVER_NAME, DRIVER_SOURCE, E1000EDevice, E1000ENetDev
+from ..kernel import Kernel
+from ..kernel.module_loader import CompiledModule, LoadedModule
+from ..net import PacketBlaster, PacketSink, RawPacketSocket
+from ..policy import CaratPolicyModule, PolicyManager, RegionTable
+from ..signing import SigningKey
+from ..vm.machine import MachineModel, get_machine
+from .pipeline import CompileOptions, compile_module
+
+
+@dataclass
+class SystemConfig:
+    """Everything the experiments vary."""
+
+    #: "r415", "r350", a MachineModel, or None for untimed functional runs.
+    machine: Union[str, MachineModel, None] = "r350"
+    #: Build the driver with the CARAT KOP transform ("carat") or not
+    #: ("baseline") — the two curves in every figure.
+    protect: bool = True
+    #: CARAT CAKE-style guard optimization (abl2 only; paper ships without).
+    optimize_guards: bool = False
+    #: Policy index structure (a RegionTable by default; abl1 swaps it).
+    policy_index: Optional[object] = None
+    #: Number of regions for the standard policy (Figure 5 varies this).
+    regions: int = 2
+    #: Enforce (panic) vs audit-only.
+    enforce: bool = True
+    #: Require signatures + protection at insmod.
+    strict_kernel: bool = False
+    ram_size: int = 64 << 20
+
+
+class CaratKopSystem:
+    """The assembled testbed."""
+
+    def __init__(self, config: Optional[SystemConfig] = None, **kwargs):
+        self.config = config or SystemConfig(**kwargs)
+        if config is not None and kwargs:
+            raise TypeError("pass either config or keyword overrides, not both")
+        cfg = self.config
+        machine = cfg.machine
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        self.machine: Optional[MachineModel] = machine
+
+        self.signing_key = SigningKey.generate()
+        self.kernel = Kernel(
+            ram_size=cfg.ram_size,
+            machine=machine,
+            signing_key=self.signing_key if cfg.strict_kernel else None,
+            require_protected_modules=cfg.strict_kernel and cfg.protect,
+        )
+        index = cfg.policy_index if cfg.policy_index is not None else RegionTable()
+        self.policy = CaratPolicyModule(
+            self.kernel, index=index, enforce=cfg.enforce
+        ).install()
+        self.policy_manager = PolicyManager(self.kernel)
+        if cfg.regions == 2:
+            self.policy_manager.install_two_region_policy()
+        else:
+            self.policy_manager.install_n_region_policy(cfg.regions)
+
+        self.sink = PacketSink(keep_last=8)
+        self.device = E1000EDevice(
+            self.kernel,
+            self.sink,
+            clock=(lambda: self.kernel.vm.timing.cycles) if machine else None,
+            freq_hz=machine.freq_hz if machine else None,
+        )
+
+        self.driver_compiled: CompiledModule = compile_module(
+            DRIVER_SOURCE,
+            CompileOptions(
+                module_name=DRIVER_NAME,
+                protect=cfg.protect,
+                optimize_guards=cfg.optimize_guards,
+                key=self.signing_key,
+            ),
+        )
+        self.driver: LoadedModule = self.kernel.insmod(self.driver_compiled)
+        self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
+        self.netdev.probe()
+        self.socket = RawPacketSocket(self.kernel, self.netdev, machine)
+        self.blaster = PacketBlaster(self.socket)
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def technique(self) -> str:
+        return "carat" if self.config.protect else "baseline"
+
+    def blast(self, size: int = 128, count: int = 1000,
+              capture_latency: bool = False):
+        """Run one pktblast trial on the live system."""
+        return self.blaster.blast(size, count, capture_latency)
+
+    def guard_stats(self) -> dict[str, int]:
+        return self.policy.stats.as_dict()
+
+    def teardown(self) -> None:
+        self.netdev.remove()
+        self.kernel.rmmod(DRIVER_NAME)
+        self.policy.uninstall()
+
+
+__all__ = ["CaratKopSystem", "SystemConfig"]

@@ -1,0 +1,228 @@
+"""IRBuilder: convenience API for constructing IR, used by the mini-C
+code generator, the passes, and tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    Gep,
+    ICmp,
+    InlineAsm,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function
+from .types import (
+    I1,
+    I8,
+    I32,
+    I64,
+    FloatType,
+    IRType,
+    IntType,
+    PointerType,
+)
+from .values import ConstantFloat, ConstantInt, ConstantNull, Value
+
+
+class IRBuilder:
+    """Appends instructions at an insertion point, naming results."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    # -- positioning ---------------------------------------------------------
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder has no insertion point")
+        return self.block.parent
+
+    def _emit(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        if name:
+            inst.name = name
+        elif inst.type.is_first_class and not inst.type.is_void:
+            inst.name = self.function.unique_name(inst.opcode)
+        self.block.append(inst)
+        return inst
+
+    # -- constants -----------------------------------------------------------
+
+    @staticmethod
+    def const_int(type: IntType, value: int) -> ConstantInt:
+        return ConstantInt(type, value)
+
+    @staticmethod
+    def const_i64(value: int) -> ConstantInt:
+        return ConstantInt(I64, value)
+
+    @staticmethod
+    def const_i32(value: int) -> ConstantInt:
+        return ConstantInt(I32, value)
+
+    @staticmethod
+    def const_i8(value: int) -> ConstantInt:
+        return ConstantInt(I8, value)
+
+    @staticmethod
+    def const_bool(value: bool) -> ConstantInt:
+        return ConstantInt(I1, int(value))
+
+    @staticmethod
+    def const_float(type: FloatType, value: float) -> ConstantFloat:
+        return ConstantFloat(type, value)
+
+    @staticmethod
+    def null(ptr_type: PointerType) -> ConstantNull:
+        return ConstantNull(ptr_type)
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloca(self, type: IRType, count: int = 1, name: str = "") -> Alloca:
+        return self._emit(Alloca(type, count), name)  # type: ignore[return-value]
+
+    def load(self, ptr: Value, name: str = "") -> Load:
+        return self._emit(Load(ptr), name)  # type: ignore[return-value]
+
+    def store(self, value: Value, ptr: Value) -> Store:
+        return self._emit(Store(value, ptr))  # type: ignore[return-value]
+
+    def gep(
+        self,
+        result_type: PointerType,
+        base: Value,
+        index: Value,
+        scale: int,
+        displacement: int = 0,
+        name: str = "",
+    ) -> Gep:
+        return self._emit(
+            Gep(result_type, base, index, scale, displacement), name
+        )  # type: ignore[return-value]
+
+    def struct_field_ptr(
+        self, base: Value, field_index: int, name: str = ""
+    ) -> Gep:
+        """Pointer to field ``field_index`` of ``*base`` (a struct pointer)."""
+        st = base.type.pointee  # type: ignore[union-attr]
+        field_type = st.fields[field_index]
+        return self.gep(
+            PointerType(field_type),
+            base,
+            self.const_i64(0),
+            0,
+            st.field_offset(field_index),
+            name,
+        )
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> BinOp:
+        return self._emit(BinOp(op, lhs, rhs), name)  # type: ignore[return-value]
+
+    def add(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("add", a, b, name)
+
+    def sub(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("mul", a, b, name)
+
+    def and_(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("and", a, b, name)
+
+    def or_(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("or", a, b, name)
+
+    def xor(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("shl", a, b, name)
+
+    def lshr(self, a: Value, b: Value, name: str = "") -> BinOp:
+        return self.binop("lshr", a, b, name)
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self._emit(ICmp(pred, lhs, rhs), name)  # type: ignore[return-value]
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> FCmp:
+        return self._emit(FCmp(pred, lhs, rhs), name)  # type: ignore[return-value]
+
+    def cast(self, op: str, value: Value, to_type: IRType, name: str = "") -> Cast:
+        return self._emit(Cast(op, value, to_type), name)  # type: ignore[return-value]
+
+    def ptrtoint(self, value: Value, to_type: IntType = I64, name: str = "") -> Cast:
+        return self.cast("ptrtoint", value, to_type, name)
+
+    def inttoptr(self, value: Value, to_type: PointerType, name: str = "") -> Cast:
+        return self.cast("inttoptr", value, to_type, name)
+
+    def bitcast(self, value: Value, to_type: PointerType, name: str = "") -> Cast:
+        if value.type is to_type:
+            return value  # type: ignore[return-value]
+        return self.cast("bitcast", value, to_type, name)
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Select:
+        return self._emit(Select(cond, a, b), name)  # type: ignore[return-value]
+
+    # -- control flow -----------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Br:
+        return self._emit(Br(target))  # type: ignore[return-value]
+
+    def cond_br(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Br:
+        return self._emit(Br(if_true, cond, if_false))  # type: ignore[return-value]
+
+    def switch(
+        self,
+        value: Value,
+        default: BasicBlock,
+        cases: Sequence[tuple[int, BasicBlock]] = (),
+    ) -> Switch:
+        return self._emit(Switch(value, default, cases))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self._emit(Ret(value))  # type: ignore[return-value]
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())  # type: ignore[return-value]
+
+    def phi(self, type: IRType, name: str = "") -> Phi:
+        """Insert a phi at the top of the current block."""
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        inst = Phi(type)
+        inst.name = name or self.function.unique_name("phi")
+        inst.parent = self.block
+        self.block.instructions.insert(self.block.first_non_phi_index(), inst)
+        return inst
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Call:
+        return self._emit(Call(callee, args), name)  # type: ignore[return-value]
+
+    def inline_asm(self, asm_text: str) -> InlineAsm:
+        return self._emit(InlineAsm(asm_text))  # type: ignore[return-value]
+
+
+__all__ = ["IRBuilder"]

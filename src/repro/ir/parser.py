@@ -1,0 +1,642 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`.
+
+The parser exists so that (a) IR can be written by hand in tests and
+examples, and (b) the print/parse round trip can be property-tested,
+which in turn validates the canonical serialization the signer hashes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from .instructions import (
+    BINOPS,
+    CAST_OPS,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    Gep,
+    ICmp,
+    InlineAsm,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IRType,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+)
+from .values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class IRParseError(ValueError):
+    """Raised on malformed IR text, with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>;[^\n]*)
+  | (?P<string>c?"(?:[^"\\]|\\[0-9a-fA-F]{2})*")
+  | (?P<number>-?\d+(?:\.\d+(?:e-?\d+)?)?)
+  | (?P<lref>%[A-Za-z_][A-Za-z0-9_.$-]*)
+  | (?P<gref>@[A-Za-z_][A-Za-z0-9_.$-]*)
+  | (?P<meta>![A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<ellipsis>\.\.\.)
+  | (?P<attr>\#[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[=,(){}\[\]:*])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise IRParseError(f"unexpected character {text[pos]!r}", line)
+        kind = m.lastgroup or ""
+        value = m.group()
+        line += value.count("\n")
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, value, line))
+        pos = m.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+def _unescape(body: str) -> bytes:
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        c = body[i]
+        if c == "\\":
+            out.append(int(body[i + 1 : i + 3], 16))
+            i += 3
+        else:
+            out.append(ord(c))
+            i += 1
+    return bytes(out)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.module: Optional[Module] = None
+
+    # -- token helpers --------------------------------------------------------
+
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self.cur
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise IRParseError(f"expected {want!r}, got {tok.text!r}", tok.line)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def error(self, msg: str) -> IRParseError:
+        return IRParseError(msg, self.cur.line)
+
+    # -- types ------------------------------------------------------------------
+
+    def parse_type(self) -> IRType:
+        tok = self.cur
+        base: IRType
+        if tok.kind == "ident":
+            text = tok.text
+            if text == "void":
+                self.advance()
+                base = VOID
+            elif text.startswith("i") and text[1:].isdigit():
+                self.advance()
+                base = IntType(int(text[1:]))
+            elif text.startswith("f") and text[1:].isdigit():
+                self.advance()
+                base = FloatType(int(text[1:]))
+            else:
+                raise self.error(f"unknown type {text!r}")
+        elif tok.kind == "lref":
+            self.advance()
+            name = tok.text[1:]
+            assert self.module is not None
+            try:
+                base = self.module.structs[name]
+            except KeyError:
+                raise IRParseError(f"unknown struct %{name}", tok.line) from None
+        elif tok.kind == "punct" and tok.text == "[":
+            self.advance()
+            count = int(self.expect("number").text)
+            self.expect("ident", "x")
+            elem = self.parse_type()
+            self.expect("punct", "]")
+            base = ArrayType(elem, count)
+        else:
+            raise self.error(f"expected type, got {tok.text!r}")
+        while self.accept("punct", "*"):
+            base = PointerType(base)
+        return base
+
+    # -- module-level ------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        self.expect("ident", "module")
+        name_tok = self.expect("string")
+        module = Module(_unescape(name_tok.text[1:-1]).decode())
+        self.module = module
+        while self.cur.kind != "eof":
+            tok = self.cur
+            if tok.kind == "meta":
+                self.parse_metadata(module)
+            elif tok.kind == "lref":
+                self.parse_struct(module)
+            elif tok.kind == "gref":
+                self.parse_global(module)
+            elif tok.kind == "ident" and tok.text in ("define", "declare"):
+                self.parse_function(module)
+            else:
+                raise self.error(f"unexpected top-level token {tok.text!r}")
+        return module
+
+    def parse_metadata(self, module: Module) -> None:
+        key = self.advance().text[1:]
+        self.expect("punct", "=")
+        tok = self.advance()
+        value: object
+        if tok.kind == "ident" and tok.text in ("true", "false"):
+            value = tok.text == "true"
+        elif tok.kind == "number":
+            value = int(tok.text)
+        elif tok.kind == "string":
+            value = _unescape(tok.text[1:-1]).decode()
+        else:
+            raise IRParseError(f"bad metadata value {tok.text!r}", tok.line)
+        module.metadata[key] = value
+
+    def parse_struct(self, module: Module) -> None:
+        name = self.advance().text[1:]
+        self.expect("punct", "=")
+        self.expect("ident", "type")
+        self.expect("punct", "{")
+        fields: list[IRType] = []
+        if not self.accept("punct", "}"):
+            fields.append(self.parse_type())
+            while self.accept("punct", ","):
+                fields.append(self.parse_type())
+            self.expect("punct", "}")
+        self.expect("ident", "fields")
+        self.expect("punct", "(")
+        names: list[str] = []
+        if not self.accept("punct", ")"):
+            names.append(self.expect("ident").text)
+            while self.accept("punct", ","):
+                names.append(self.expect("ident").text)
+            self.expect("punct", ")")
+        module.add_struct(StructType(name, fields, names))
+
+    def parse_global(self, module: Module) -> None:
+        line = self.cur.line
+        try:
+            self._parse_global_inner(module)
+        except IRParseError:
+            raise
+        except (TypeError, ValueError) as e:
+            raise IRParseError(str(e), line) from e
+
+    def _parse_global_inner(self, module: Module) -> None:
+        name = self.advance().text[1:]
+        self.expect("punct", "=")
+        linkage = self.expect("ident").text
+        is_const = bool(self.accept("ident", "const"))
+        self.expect("ident", "global")
+        vtype = self.parse_type()
+        tok = self.cur
+        initializer: Optional[object]
+        if tok.kind == "number":
+            self.advance()
+            if isinstance(vtype, FloatType) or "." in tok.text:
+                initializer = ConstantFloat(vtype, float(tok.text))  # type: ignore[arg-type]
+            else:
+                initializer = ConstantInt(vtype, int(tok.text))  # type: ignore[arg-type]
+        elif tok.kind == "string":
+            self.advance()
+            initializer = ConstantString(_unescape(tok.text[2:-1]))
+        elif tok.kind == "ident" and tok.text == "null":
+            self.advance()
+            initializer = ConstantNull(vtype)  # type: ignore[arg-type]
+        elif tok.kind == "ident" and tok.text == "zeroinit":
+            self.advance()
+            initializer = None
+        else:
+            raise self.error(f"bad global initializer {tok.text!r}")
+        module.add_global(
+            GlobalVariable(vtype, name, initializer, linkage, is_const)  # type: ignore[arg-type]
+        )
+
+    # -- functions ------------------------------------------------------------------
+
+    def parse_function(self, module: Module) -> None:
+        kind = self.advance().text  # define | declare
+        linkage = self.expect("ident").text
+        ret_type = self.parse_type()
+        name = self.expect("gref").text[1:]
+        self.expect("punct", "(")
+        param_types: list[IRType] = []
+        param_names: list[str] = []
+        vararg = False
+        if not self.accept("punct", ")"):
+            while True:
+                if self.accept("ellipsis"):
+                    vararg = True
+                    break
+                param_types.append(self.parse_type())
+                ptok = self.accept("lref")
+                param_names.append(
+                    ptok.text[1:] if ptok else f"arg{len(param_names)}"
+                )
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        ftype = FunctionType(ret_type, param_types, vararg)
+        fn = Function(name, ftype, param_names, linkage)
+        while self.cur.kind == "attr":
+            fn.attributes.add(self.advance().text[1:])
+        existing = module.functions.get(name)
+        if existing is not None and existing.is_declaration and kind == "define":
+            # A later definition replaces an earlier declaration.
+            del module.functions[name]
+        module.add_function(fn)
+        if kind == "declare":
+            return
+        self.expect("punct", "{")
+        self.parse_body(fn)
+        self.expect("punct", "}")
+
+    def parse_body(self, fn: Function) -> None:
+        blocks: dict[str, BasicBlock] = {}
+
+        def get_block(name: str) -> BasicBlock:
+            if name not in blocks:
+                blocks[name] = BasicBlock(name, fn)
+            return blocks[name]
+
+        # Values defined so far; forward references (legal through phis and
+        # loop back-edges) parse as placeholders and are fixed at the end.
+        self._late_values = {a.name: a for a in fn.args}
+        self._phi_patches = []
+
+        current: Optional[BasicBlock] = None
+        while not (self.cur.kind == "punct" and self.cur.text == "}"):
+            tok = self.cur
+            if tok.kind == "ident" and self.tokens[self.pos + 1].text == ":":
+                label = self.advance().text
+                self.expect("punct", ":")
+                block = get_block(label)
+                if block in fn.blocks:
+                    raise IRParseError(f"duplicate block {label!r}", tok.line)
+                fn.blocks.append(block)
+                current = block
+                continue
+            if current is None:
+                raise self.error("instruction before first block label")
+            inst = self.parse_instruction(get_block)
+            inst.parent = current
+            current.instructions.append(inst)
+            if inst.name:
+                if inst.name in self._late_values:
+                    raise IRParseError(
+                        f"redefinition of %{inst.name}", tok.line
+                    )
+                self._late_values[inst.name] = inst
+        for fix in self._phi_patches:
+            fix()
+
+    # -- instructions ------------------------------------------------------------------
+
+    def parse_instruction(
+        self,
+        get_block: Callable[[str], BasicBlock],
+    ) -> Instruction:
+        # Instruction/constant constructors type-check their operands and
+        # raise TypeError/ValueError; surface those as parse diagnostics
+        # with a line number instead of leaking internals.
+        line = self.cur.line
+        try:
+            return self._parse_instruction_inner(get_block)
+        except IRParseError:
+            raise
+        except (TypeError, ValueError) as e:
+            raise IRParseError(str(e), line) from e
+
+    def _parse_instruction_inner(
+        self,
+        get_block: Callable[[str], BasicBlock],
+    ) -> Instruction:
+        name = ""
+        if self.cur.kind == "lref":
+            name = self.advance().text[1:]
+            self.expect("punct", "=")
+        op_tok = self.expect("ident")
+        op = op_tok.text
+
+        if op == "alloca":
+            atype = self.parse_type()
+            self.expect("punct", ",")
+            self.expect("ident", "count")
+            count = int(self.expect("number").text)
+            inst: Instruction = Alloca(atype, count, name)
+        elif op == "load":
+            inst = self._with_patched_operands(Load, 1, name)
+        elif op == "store":
+            inst = self._with_patched_operands(Store, 2, "")
+        elif op == "gep":
+            rtype = self.parse_type()
+            self.expect("punct", ":")
+            inst = self._gep_rest(rtype, name)
+        elif op in BINOPS:
+            inst = self._binop_rest(op, name)
+        elif op == "icmp":
+            pred = self.expect("ident").text
+            inst = self._cmp_rest(ICmp, pred, name)
+        elif op == "fcmp":
+            pred = self.expect("ident").text
+            inst = self._cmp_rest(FCmp, pred, name)
+        elif op in CAST_OPS:
+            v = self._parse_patchable_operand(0)
+            self.expect("ident", "to")
+            to_type = self.parse_type()
+            inst = Cast(op, v[0], to_type, name)
+            self._apply_patches(inst, v[1])
+        elif op == "select":
+            c = self._parse_patchable_operand(0)
+            self.expect("punct", ",")
+            a = self._parse_patchable_operand(1)
+            self.expect("punct", ",")
+            b = self._parse_patchable_operand(2)
+            inst = Select(c[0], a[0], b[0], name)
+            for v in (c, a, b):
+                self._apply_patches(inst, v[1])
+        elif op == "br":
+            if self.cur.kind == "ident" and self.cur.text == "label":
+                self.advance()
+                target = get_block(self.expect("lref").text[1:])
+                inst = Br(target)
+            else:
+                c = self._parse_patchable_operand(0)
+                self.expect("punct", ",")
+                self.expect("ident", "label")
+                t = get_block(self.expect("lref").text[1:])
+                self.expect("punct", ",")
+                self.expect("ident", "label")
+                f = get_block(self.expect("lref").text[1:])
+                inst = Br(t, c[0], f)
+                self._apply_patches(inst, c[1])
+        elif op == "switch":
+            v = self._parse_patchable_operand(0)
+            self.expect("punct", ",")
+            self.expect("ident", "default")
+            self.expect("ident", "label")
+            default = get_block(self.expect("lref").text[1:])
+            self.expect("punct", "[")
+            cases: list[tuple[int, BasicBlock]] = []
+            if not self.accept("punct", "]"):
+                while True:
+                    cval = int(self.expect("number").text)
+                    self.expect("punct", ":")
+                    self.expect("ident", "label")
+                    cases.append((cval, get_block(self.expect("lref").text[1:])))
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", "]")
+            inst = Switch(v[0], default, cases)
+            self._apply_patches(inst, v[1])
+        elif op == "ret":
+            if self.cur.kind == "ident" and self.cur.text == "void":
+                self.advance()
+                inst = Ret()
+            else:
+                v = self._parse_patchable_operand(0)
+                inst = Ret(v[0])
+                self._apply_patches(inst, v[1])
+        elif op == "unreachable":
+            inst = Unreachable()
+        elif op == "phi":
+            ptype = self.parse_type()
+            phi = Phi(ptype, name)
+            phi.name = name
+            while self.accept("punct", "["):
+                v = self._parse_patchable_operand(len(phi.incoming))
+                self.expect("punct", ",")
+                blk = get_block(self.expect("lref").text[1:])
+                self.expect("punct", "]")
+                idx = len(phi.incoming)
+                phi.incoming.append((v[0], blk))
+                phi.operands.append(v[0])
+                if v[1]:
+                    pname = v[1]
+
+                    def fix_phi(p=phi, i=idx, n=pname, b=blk):
+                        real = self._late_values.get(n)
+                        if real is None:
+                            raise IRParseError(f"undefined %{n} in phi", 0)
+                        p.incoming[i] = (real, b)
+                        p.operands[i] = real
+
+                    self._phi_patches.append(fix_phi)
+                self.accept("punct", ",")
+            inst = phi
+        elif op in ("call", "call.guard"):
+            ret_t = self.parse_type()
+            callee_name = self.expect("gref").text[1:]
+            assert self.module is not None
+            callee = self.module.functions.get(callee_name)
+            if callee is None:
+                raise self.error(f"call to unknown function @{callee_name}")
+            self.expect("punct", "(")
+            args: list[Value] = []
+            arg_patches: list[tuple[int, str]] = []
+            if not self.accept("punct", ")"):
+                while True:
+                    v = self._parse_patchable_operand(len(args))
+                    if v[1]:
+                        arg_patches.append((len(args), v[1]))
+                    args.append(v[0])
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", ")")
+            call = Call(callee, args, name)
+            call.is_guard = op == "call.guard"
+            for idx, vname in arg_patches:
+                def fix_arg(c=call, i=idx, n=vname):
+                    real = self._late_values.get(n)
+                    if real is None:
+                        raise IRParseError(f"undefined %{n} in call", 0)
+                    c.operands[i] = real
+
+                self._phi_patches.append(fix_arg)
+            inst = call
+        elif op == "asm":
+            text_tok = self.expect("string")
+            inst = InlineAsm(_unescape(text_tok.text[1:-1]).decode())
+        else:
+            raise IRParseError(f"unknown opcode {op!r}", op_tok.line)
+        inst.name = name
+        return inst
+
+    # The operand-patching machinery: operands referencing values defined
+    # later (legal through phis and loop back-edges) are parsed as
+    # placeholders and fixed once the whole body is known.
+    _late_values: dict[str, Value]
+    _phi_patches: list[Callable[[], None]]
+
+    def _parse_patchable_operand(self, index: int) -> tuple[Value, str]:
+        """Parse an operand; returns (value, pending_name_or_empty)."""
+        type = self.parse_type()
+        tok = self.advance()
+        if tok.kind == "number":
+            if isinstance(type, FloatType) or "." in tok.text or "e" in tok.text:
+                return ConstantFloat(type, float(tok.text)), ""  # type: ignore[arg-type]
+            return ConstantInt(type, int(tok.text)), ""  # type: ignore[arg-type]
+        if tok.kind == "lref":
+            vname = tok.text[1:]
+            v = self._late_values.get(vname)
+            if v is not None:
+                return v, ""
+            return UndefValue(type, vname), vname
+        if tok.kind == "gref":
+            assert self.module is not None
+            name = tok.text[1:]
+            sym = self.module.functions.get(name) or self.module.globals.get(name)
+            if sym is None:
+                raise IRParseError(f"unknown global @{name}", tok.line)
+            return sym, ""
+        if tok.kind == "ident" and tok.text == "null":
+            return ConstantNull(type), ""  # type: ignore[arg-type]
+        if tok.kind == "ident" and tok.text == "undef":
+            return UndefValue(type), ""
+        raise IRParseError(f"bad operand {tok.text!r}", tok.line)
+
+    def _apply_patches(self, inst: Instruction, pending_name: str) -> None:
+        if not pending_name:
+            return
+
+        def fix(i=inst, n=pending_name):
+            real = self._late_values.get(n)
+            if real is None:
+                raise IRParseError(f"undefined value %{n}", 0)
+            for k, opv in enumerate(i.operands):
+                if isinstance(opv, UndefValue) and opv.name == n:
+                    i.operands[k] = real
+
+        self._phi_patches.append(fix)
+
+    def _with_patched_operands(self, cls, count: int, name: str) -> Instruction:
+        vals: list[tuple[Value, str]] = []
+        for i in range(count):
+            if i:
+                self.expect("punct", ",")
+            vals.append(self._parse_patchable_operand(i))
+        inst = cls(*[v for v, _ in vals], **({"name": name} if name else {}))
+        for _, pending in vals:
+            self._apply_patches(inst, pending)
+        return inst
+
+    def _binop_rest(self, op: str, name: str) -> Instruction:
+        a = self._parse_patchable_operand(0)
+        self.expect("punct", ",")
+        b = self._parse_patchable_operand(1)
+        inst = BinOp(op, a[0], b[0], name)
+        self._apply_patches(inst, a[1])
+        self._apply_patches(inst, b[1])
+        return inst
+
+    def _cmp_rest(self, cls, pred: str, name: str) -> Instruction:
+        a = self._parse_patchable_operand(0)
+        self.expect("punct", ",")
+        b = self._parse_patchable_operand(1)
+        inst = cls(pred, a[0], b[0], name)
+        self._apply_patches(inst, a[1])
+        self._apply_patches(inst, b[1])
+        return inst
+
+    def _gep_rest(self, rtype: IRType, name: str) -> Instruction:
+        base = self._parse_patchable_operand(0)
+        self.expect("punct", ",")
+        index = self._parse_patchable_operand(1)
+        self.expect("punct", ",")
+        self.expect("ident", "scale")
+        scale = int(self.expect("number").text)
+        self.expect("punct", ",")
+        self.expect("ident", "disp")
+        disp = int(self.expect("number").text)
+        inst = Gep(rtype, base[0], index[0], scale, disp, name)  # type: ignore[arg-type]
+        self._apply_patches(inst, base[1])
+        self._apply_patches(inst, index[1])
+        return inst
+
+
+def parse_module(text: str) -> Module:
+    """Parse the canonical textual form back into a :class:`Module`."""
+    parser = _Parser(text)
+    return parser.parse_module()
+
+
+__all__ = ["IRParseError", "parse_module"]

@@ -1,0 +1,200 @@
+"""Textual IR printer.
+
+The printed form is the *canonical serialization* used by the signing
+stage (the signature covers exactly these bytes), so the printer is
+deterministic: symbols print in insertion order and value names are taken
+verbatim.  :mod:`repro.ir.parser` parses this format back; round-tripping
+is covered by property tests.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    Gep,
+    ICmp,
+    InlineAsm,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    GlobalValue,
+    UndefValue,
+    Value,
+)
+
+
+def _operand(v: Value) -> str:
+    """Render an operand as ``<type> <ref>``."""
+    if isinstance(v, ConstantInt):
+        return f"{v.type} {v.signed}"
+    if isinstance(v, ConstantFloat):
+        return f"{v.type} {v.value!r}"
+    if isinstance(v, ConstantNull):
+        return f"{v.type} null"
+    if isinstance(v, UndefValue):
+        return f"{v.type} undef"
+    if isinstance(v, ConstantString):
+        return v.ref()
+    if isinstance(v, GlobalValue):
+        return f"{v.type} @{v.name}"
+    if isinstance(v, (Argument, Instruction)):
+        return f"{v.type} %{v.name}"
+    raise TypeError(f"cannot print operand {v!r}")
+
+
+def _escape_bytes(data: bytes) -> str:
+    return "".join(
+        chr(b) if 32 <= b < 127 and chr(b) not in '"\\' else f"\\{b:02x}"
+        for b in data
+    )
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render a single instruction (without indentation)."""
+    lhs = f"%{inst.name} = " if inst.name and not inst.type.is_void else ""
+    if isinstance(inst, Alloca):
+        return f"{lhs}alloca {inst.allocated_type}, count {inst.count}"
+    if isinstance(inst, Load):
+        return f"{lhs}load {_operand(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
+    if isinstance(inst, Gep):
+        return (
+            f"{lhs}gep {inst.type} : {_operand(inst.base)}, "
+            f"{_operand(inst.index)}, scale {inst.scale}, disp {inst.displacement}"
+        )
+    if isinstance(inst, BinOp):
+        return f"{lhs}{inst.op} {_operand(inst.lhs)}, {_operand(inst.rhs)}"
+    if isinstance(inst, ICmp):
+        return f"{lhs}icmp {inst.pred} {_operand(inst.lhs)}, {_operand(inst.rhs)}"
+    if isinstance(inst, FCmp):
+        return (
+            f"{lhs}fcmp {inst.pred} {_operand(inst.operands[0])}, "
+            f"{_operand(inst.operands[1])}"
+        )
+    if isinstance(inst, Cast):
+        return f"{lhs}{inst.op} {_operand(inst.value)} to {inst.type}"
+    if isinstance(inst, Select):
+        ops = ", ".join(_operand(o) for o in inst.operands)
+        return f"{lhs}select {ops}"
+    if isinstance(inst, Br):
+        if inst.is_conditional:
+            return (
+                f"br {_operand(inst.condition)}, "  # type: ignore[arg-type]
+                f"label %{inst.targets[0].name}, label %{inst.targets[1].name}"
+            )
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, Switch):
+        cases = ", ".join(f"{c}: label %{b.name}" for c, b in inst.cases)
+        return (
+            f"switch {_operand(inst.operands[0])}, "
+            f"default label %{inst.default.name} [ {cases} ]"
+        )
+    if isinstance(inst, Ret):
+        return f"ret {_operand(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Phi):
+        arms = ", ".join(
+            f"[ {_operand(v)}, %{b.name} ]" for v, b in inst.incoming
+        )
+        return f"{lhs}phi {inst.type} {arms}"
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a) for a in inst.args)
+        op = "call.guard" if inst.is_guard else "call"
+        if inst.type.is_void:
+            return f"{op} void @{inst.callee.name}({args})"
+        return f"{lhs}{op} {inst.type} @{inst.callee.name}({args})"
+    if isinstance(inst, InlineAsm):
+        return f'asm "{_escape_bytes(inst.asm_text.encode())}"'
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    if fn.function_type.vararg:
+        params = f"{params}, ..." if params else "..."
+    sig = f"{fn.return_type} @{fn.name}({params})"
+    attrs = "".join(f" #{a}" for a in sorted(fn.attributes))
+    if fn.is_declaration:
+        return f"declare {fn.linkage} {sig}{attrs}"
+    body = "\n".join(print_block(b) for b in fn.blocks)
+    return f"define {fn.linkage} {sig}{attrs} {{\n{body}\n}}"
+
+
+def _print_metadata_value(v: object) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, str):
+        return f'"{v}"'
+    raise TypeError(f"unsupported metadata value {v!r}")
+
+
+def print_module(module: Module) -> str:
+    """Serialize a full module to its canonical textual form."""
+    parts: list[str] = [f'module "{module.name}"']
+    for key in sorted(module.metadata):
+        parts.append(f"!{key} = {_print_metadata_value(module.metadata[key])}")
+    for st in module.structs.values():
+        fields = ", ".join(str(f) for f in st.fields)
+        names = ", ".join(st.field_names)
+        parts.append(f"%{st.name} = type {{ {fields} }} fields({names})")
+    for g in module.globals.values():
+        decl = f"@{g.name} = {g.linkage}"
+        if g.is_const:
+            decl += " const"
+        decl += f" global {g.value_type}"
+        init = g.initializer
+        if init is not None:
+            if isinstance(init, ConstantString):
+                decl += f' c"{_escape_bytes(init.data)}"'
+            elif isinstance(init, ConstantInt):
+                decl += f" {init.signed}"
+            elif isinstance(init, ConstantFloat):
+                decl += f" {init.value!r}"
+            elif isinstance(init, ConstantNull):
+                decl += " null"
+            else:
+                raise TypeError(f"unsupported initializer {init!r}")
+        else:
+            decl += " zeroinit"
+        parts.append(decl)
+    # Declarations precede definitions so the parser can resolve every
+    # direct call as it reads function bodies.
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            parts.append(print_function(fn))
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            parts.append(print_function(fn))
+    return "\n\n".join(parts) + "\n"
+
+
+__all__ = ["print_block", "print_function", "print_instruction", "print_module"]

@@ -1,0 +1,214 @@
+"""Value hierarchy for the IR: constants, globals, arguments, instructions.
+
+Everything that can appear as an instruction operand is a
+:class:`Value`.  Instructions themselves are values (their result), as in
+LLVM; they live in :mod:`repro.ir.instructions`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IRType,
+    IntType,
+    PointerType,
+)
+
+
+class Value:
+    """Base class for everything that may be used as an operand."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type: IRType, name: str = ""):
+        self.type = type
+        self.name = name
+
+    def ref(self) -> str:
+        """Textual reference used when this value appears as an operand."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """Marker base for compile-time constants."""
+
+    __slots__ = ()
+
+
+class ConstantInt(Constant):
+    """Integer literal.  The stored value is the *unsigned* bit pattern."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: IntType, value: int):
+        if not isinstance(type, IntType):
+            raise TypeError("ConstantInt requires an IntType")
+        super().__init__(type)
+        self.value = type.wrap(int(value))
+
+    @property
+    def signed(self) -> int:
+        """The value interpreted as signed two's complement."""
+        return self.type.to_signed(self.value)  # type: ignore[union-attr]
+
+    def ref(self) -> str:
+        return f"{self.type} {self.signed}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantInt)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class ConstantFloat(Constant):
+    """Floating-point literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: FloatType, value: float):
+        if not isinstance(type, FloatType):
+            raise TypeError("ConstantFloat requires a FloatType")
+        super().__init__(type)
+        self.value = float(value)
+
+    def ref(self) -> str:
+        return f"{self.type} {self.value!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstantFloat)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class ConstantNull(Constant):
+    """Null pointer constant."""
+
+    __slots__ = ()
+
+    def __init__(self, type: PointerType):
+        if not isinstance(type, PointerType):
+            raise TypeError("ConstantNull requires a PointerType")
+        super().__init__(type)
+
+    def ref(self) -> str:
+        return f"{self.type} null"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantNull) and other.type is self.type
+
+    def __hash__(self) -> int:
+        return hash(("null", self.type))
+
+
+class UndefValue(Constant):
+    """Undefined value of any first-class type."""
+
+    __slots__ = ()
+
+    def ref(self) -> str:
+        return f"{self.type} undef"
+
+
+class ConstantString(Constant):
+    """A byte-string literal; becomes an ``[N x i8]`` initializer."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("ConstantString requires bytes")
+        data = bytes(data)
+        super().__init__(ArrayType(IntType(8), len(data)))
+        self.data = data
+
+    def ref(self) -> str:
+        printable = "".join(
+            chr(b) if 32 <= b < 127 and chr(b) not in '"\\' else f"\\{b:02x}"
+            for b in self.data
+        )
+        return f'{self.type} c"{printable}"'
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, type: IRType, name: str, index: int):
+        super().__init__(type, name)
+        self.index = index
+
+    def ref(self) -> str:
+        return f"{self.type} %{self.name}"
+
+
+class GlobalValue(Value):
+    """Base for module-level symbols (globals and functions).
+
+    ``linkage`` distinguishes symbols private to the module from symbols
+    that participate in kernel-style linking (exported / imported), which
+    is what the module loader resolves at insmod time.
+    """
+
+    __slots__ = ("linkage",)
+
+    LINKAGES = ("internal", "external", "exported")
+
+    def __init__(self, type: IRType, name: str, linkage: str = "internal"):
+        if linkage not in self.LINKAGES:
+            raise ValueError(f"bad linkage {linkage!r}")
+        super().__init__(type, name)
+        self.linkage = linkage
+
+    def ref(self) -> str:
+        return f"{self.type} @{self.name}"
+
+
+class GlobalVariable(GlobalValue):
+    """A module-level variable.  Its value *is a pointer* to its storage."""
+
+    __slots__ = ("value_type", "initializer", "is_const")
+
+    def __init__(
+        self,
+        value_type: IRType,
+        name: str,
+        initializer: Optional[Constant] = None,
+        linkage: str = "internal",
+        is_const: bool = False,
+    ):
+        super().__init__(PointerType(value_type), name, linkage)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.is_const = is_const
+
+
+__all__ = [
+    "Argument",
+    "Constant",
+    "ConstantFloat",
+    "ConstantInt",
+    "ConstantNull",
+    "ConstantString",
+    "GlobalValue",
+    "GlobalVariable",
+    "UndefValue",
+    "Value",
+]

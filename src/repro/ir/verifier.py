@@ -1,0 +1,196 @@
+"""IR well-formedness verifier.
+
+The kernel-side loader runs this on every module before insertion
+(paper §3.2: modules are validated at insmod time); the compiler pipeline
+runs it after every pass.  A verification failure raises
+:class:`VerificationError` listing every violation found.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    Br,
+    Call,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+    Switch,
+)
+from .module import BasicBlock, Function, Module
+from .types import IntType, PointerType, VOID
+from .values import Argument, Constant, GlobalValue, UndefValue
+
+
+class VerificationError(ValueError):
+    """One or more IR invariants are violated."""
+
+    def __init__(self, errors: list[str]):
+        super().__init__(
+            f"{len(errors)} IR verification error(s):\n  " + "\n  ".join(errors)
+        )
+        self.errors = errors
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module; raise on any violation."""
+    errors: list[str] = []
+    for fn in module.defined_functions():
+        errors.extend(_verify_function(fn, module))
+    for fn in module.declarations():
+        if fn.blocks:
+            errors.append(f"@{fn.name}: declaration has a body")
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_function(fn: Function, module: Module | None = None) -> None:
+    errors = _verify_function(fn, module)
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_function(fn: Function, module: Module | None) -> list[str]:
+    errors: list[str] = []
+    where = f"@{fn.name}"
+
+    if not fn.blocks:
+        errors.append(f"{where}: definition has no blocks")
+        return errors
+
+    block_set = set(map(id, fn.blocks))
+    names_seen: set[str] = set()
+    defined: set[int] = {id(a) for a in fn.args}
+    all_insts: set[int] = set()
+    for block in fn.blocks:
+        for inst in block.instructions:
+            all_insts.add(id(inst))
+
+    preds = fn.predecessors()
+
+    for block in fn.blocks:
+        bwhere = f"{where}:{block.name}"
+        if block.parent is not fn:
+            errors.append(f"{bwhere}: block parent link broken")
+        term = block.terminator
+        if term is None:
+            errors.append(f"{bwhere}: block lacks a terminator")
+        for i, inst in enumerate(block.instructions):
+            iwhere = f"{bwhere}[{i}] ({inst.opcode})"
+            if inst.parent is not block:
+                errors.append(f"{iwhere}: parent link broken")
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                errors.append(f"{iwhere}: terminator not last in block")
+            if isinstance(inst, Phi) and i >= block.first_non_phi_index():
+                errors.append(f"{iwhere}: phi after non-phi instruction")
+            if inst.name:
+                if inst.type.is_void:
+                    errors.append(f"{iwhere}: void instruction has a name")
+                elif inst.name in names_seen:
+                    errors.append(f"{iwhere}: duplicate value name %{inst.name}")
+                names_seen.add(inst.name)
+            # Operand sanity: every operand must be a constant, an argument
+            # of this function, a global, or an instruction of this function.
+            for op in inst.operands:
+                if isinstance(op, UndefValue):
+                    if op.name:
+                        errors.append(
+                            f"{iwhere}: unresolved placeholder %{op.name}"
+                        )
+                    continue
+                if isinstance(op, (Constant, GlobalValue)):
+                    continue
+                if isinstance(op, Argument):
+                    if not any(op is a for a in fn.args):
+                        errors.append(f"{iwhere}: foreign argument %{op.name}")
+                    continue
+                if isinstance(op, Instruction):
+                    if id(op) not in all_insts:
+                        errors.append(
+                            f"{iwhere}: operand %{op.name} from another function"
+                        )
+                    continue
+                errors.append(f"{iwhere}: bad operand kind {type(op).__name__}")
+            errors.extend(_check_types(inst, iwhere, fn))
+            if isinstance(inst, (Br, Switch)):
+                for target in inst.targets:
+                    if id(target) not in block_set:
+                        errors.append(
+                            f"{iwhere}: branch to foreign block {target.name}"
+                        )
+            if isinstance(inst, Phi):
+                pred_names = sorted(b.name for b in preds[block])
+                incoming_names = sorted(b.name for _, b in inst.incoming)
+                if pred_names != incoming_names:
+                    errors.append(
+                        f"{iwhere}: phi incoming blocks {incoming_names} != "
+                        f"predecessors {pred_names}"
+                    )
+            if isinstance(inst, Call) and module is not None:
+                if inst.callee.name not in module.functions:
+                    errors.append(
+                        f"{iwhere}: callee @{inst.callee.name} not in module"
+                    )
+
+    # Straight-line def-before-use within each block (phis exempt).
+    for block in fn.blocks:
+        local_defined = set(defined)
+        for inst in block.instructions:
+            if not isinstance(inst, Phi):
+                for op in inst.operands:
+                    if (
+                        isinstance(op, Instruction)
+                        and op.parent is block
+                        and id(op) not in local_defined
+                        and _comes_after(op, inst, block)
+                    ):
+                        errors.append(
+                            f"{where}:{block.name}: %{op.name or inst.opcode} "
+                            f"used before defined in its own block"
+                        )
+            local_defined.add(id(inst))
+
+    return errors
+
+
+def _comes_after(a: Instruction, b: Instruction, block: BasicBlock) -> bool:
+    """True if ``a`` appears strictly after ``b`` within ``block``."""
+    seen_b = False
+    for inst in block.instructions:
+        if inst is b:
+            seen_b = True
+        if inst is a:
+            return seen_b and a is not b
+    return False
+
+
+def _check_types(inst: Instruction, where: str, fn: Function) -> list[str]:
+    errors: list[str] = []
+    if isinstance(inst, Load):
+        if not isinstance(inst.pointer.type, PointerType):
+            errors.append(f"{where}: load from non-pointer")
+        elif inst.pointer.type.pointee is not inst.type:
+            errors.append(f"{where}: load result type mismatch")
+    elif isinstance(inst, Store):
+        pt = inst.pointer.type
+        if not isinstance(pt, PointerType) or pt.pointee is not inst.value.type:
+            errors.append(f"{where}: store type mismatch")
+    elif isinstance(inst, Ret):
+        want = fn.return_type
+        if inst.value is None:
+            if want is not VOID:
+                errors.append(f"{where}: ret void from non-void function")
+        elif inst.value.type is not want:
+            errors.append(
+                f"{where}: ret type {inst.value.type}, function returns {want}"
+            )
+    elif isinstance(inst, Br) and inst.is_conditional:
+        cond = inst.condition
+        assert cond is not None
+        if not (isinstance(cond.type, IntType) and cond.type.bits == 1):
+            errors.append(f"{where}: branch condition is not i1")
+    return errors
+
+
+__all__ = ["VerificationError", "verify_function", "verify_module"]

@@ -1,0 +1,30 @@
+"""Simulated Linux kernel substrate: memory, loader, devices, panic."""
+
+from . import layout
+from .chardev import DeviceRegistry, IoctlError
+from .kalloc import KmallocAllocator, PageAllocator
+from .kernel import Kernel
+from .memory import KernelAddressSpace, MMIODevice, PhysicalMemory
+from .module_loader import CompiledModule, LoadError, LoadedModule, ModuleLoader
+from .panic import KernelPanic, MemoryFault
+from .symbols import Symbol, SymbolTable
+
+__all__ = [
+    "CompiledModule",
+    "DeviceRegistry",
+    "IoctlError",
+    "Kernel",
+    "KernelAddressSpace",
+    "KernelPanic",
+    "KmallocAllocator",
+    "LoadError",
+    "LoadedModule",
+    "MMIODevice",
+    "MemoryFault",
+    "ModuleLoader",
+    "PageAllocator",
+    "PhysicalMemory",
+    "Symbol",
+    "SymbolTable",
+    "layout",
+]

@@ -1,0 +1,76 @@
+"""Character devices and the ioctl path.
+
+The paper's operator interface is "an ioctl system call ... using a
+simple application, policy-manager" against ``/dev/carat`` (§3.1,
+Figure 1).  This module provides the registry and dispatch for that
+path: a device registers under a ``/dev`` name and receives
+``ioctl(cmd, arg)`` calls from user space (arg is a bytes payload, like a
+copied-in struct).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+
+class IoctlError(OSError):
+    """Mirrors an errno-carrying ioctl failure."""
+
+    def __init__(self, errno_: int, message: str):
+        super().__init__(errno_, message)
+        self.errno = errno_
+
+
+# A few errno values, so callers can assert on them.
+EPERM = 1
+ENOENT = 2
+EINVAL = 22
+ENOSPC = 28
+ENOTTY = 25
+
+
+class CharDevice(Protocol):
+    """Anything that can live under /dev and answer ioctls."""
+
+    def ioctl(self, cmd: int, arg: bytes, *, uid: int) -> bytes: ...
+
+
+class DeviceRegistry:
+    """The /dev namespace."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, CharDevice] = {}
+
+    def register(self, path: str, device: CharDevice) -> None:
+        if not path.startswith("/dev/"):
+            raise ValueError("device paths live under /dev/")
+        if path in self._devices:
+            raise ValueError(f"{path} already registered")
+        self._devices[path] = device
+
+    def unregister(self, path: str) -> None:
+        self._devices.pop(path, None)
+
+    def get(self, path: str) -> Optional[CharDevice]:
+        return self._devices.get(path)
+
+    def ioctl(self, path: str, cmd: int, arg: bytes = b"", *, uid: int = 0) -> bytes:
+        device = self._devices.get(path)
+        if device is None:
+            raise IoctlError(ENOENT, f"{path}: no such device")
+        return device.ioctl(cmd, arg, uid=uid)
+
+    def paths(self) -> list[str]:
+        return sorted(self._devices)
+
+
+__all__ = [
+    "CharDevice",
+    "DeviceRegistry",
+    "EINVAL",
+    "ENOENT",
+    "ENOSPC",
+    "ENOTTY",
+    "EPERM",
+    "IoctlError",
+]

@@ -1,0 +1,136 @@
+"""Kernel memory allocators.
+
+``PageAllocator`` hands out physical pages; ``KmallocAllocator`` is a
+size-class slab over direct-mapped pages, returning *kernel virtual*
+addresses, like the real kmalloc.  Driver buffers (sk_buff data, DMA
+descriptor rings) come from here, which matters for the policy: a module
+policy typically allows its own kmalloc'd regions and denies everything
+else (paper §3.1: "the module could be configured to block access to the
+direct-mapped physical memory with a single rule").
+"""
+
+from __future__ import annotations
+
+from . import layout
+from .memory import PhysicalMemory
+from .panic import KernelPanic
+
+
+class PageAllocator:
+    """First-fit physical page allocator with a free list."""
+
+    def __init__(self, ram: PhysicalMemory, reserved: int = 1 << 20):
+        self.ram = ram
+        # Never hand out the lowest pages (BIOS/kernel image analog).
+        self._next = layout.page_align_up(reserved)
+        self._free: list[tuple[int, int]] = []  # (phys, pages), sorted
+        self.allocated_pages = 0
+
+    def alloc_pages(self, count: int = 1) -> int:
+        """Allocate ``count`` contiguous pages; returns the physical base."""
+        if count <= 0:
+            raise ValueError("page count must be positive")
+        for i, (base, n) in enumerate(self._free):
+            if n >= count:
+                if n == count:
+                    del self._free[i]
+                else:
+                    self._free[i] = (base + count * layout.PAGE_SIZE, n - count)
+                self.allocated_pages += count
+                return base
+        base = self._next
+        size = count * layout.PAGE_SIZE
+        if base + size > self.ram.size:
+            raise KernelPanic("out of memory (page allocator)")
+        self._next = base + size
+        self.allocated_pages += count
+        return base
+
+    def free_pages(self, phys: int, count: int) -> None:
+        if phys % layout.PAGE_SIZE:
+            raise ValueError("free of unaligned page address")
+        self.allocated_pages -= count
+        self._free.append((phys, count))
+        self._free.sort()
+        # Coalesce neighbours so big allocations can be satisfied again.
+        merged: list[tuple[int, int]] = []
+        for base, n in self._free:
+            if merged and merged[-1][0] + merged[-1][1] * layout.PAGE_SIZE == base:
+                merged[-1] = (merged[-1][0], merged[-1][1] + n)
+            else:
+                merged.append((base, n))
+        self._free = merged
+
+
+_SIZE_CLASSES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class KmallocAllocator:
+    """Size-class slab allocator returning direct-map virtual addresses."""
+
+    def __init__(self, pages: PageAllocator):
+        self.pages = pages
+        self._partial: dict[int, list[int]] = {c: [] for c in _SIZE_CLASSES}
+        self._sizes: dict[int, int] = {}  # addr -> usable size
+        self.live_allocations = 0
+        self.bytes_allocated = 0
+
+    def kmalloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns a kernel virtual address."""
+        if size <= 0:
+            raise ValueError("kmalloc size must be positive")
+        cls = next((c for c in _SIZE_CLASSES if c >= size), None)
+        if cls is None:
+            # Large allocation: whole pages.
+            pages = (size + layout.PAGE_SIZE - 1) // layout.PAGE_SIZE
+            phys = self.pages.alloc_pages(pages)
+            addr = layout.direct_map_address(phys)
+            self._sizes[addr] = pages * layout.PAGE_SIZE
+        else:
+            bucket = self._partial[cls]
+            if not bucket:
+                phys = self.pages.alloc_pages(1)
+                base = layout.direct_map_address(phys)
+                bucket.extend(
+                    base + off for off in range(0, layout.PAGE_SIZE, cls)
+                )
+            addr = bucket.pop()
+            self._sizes[addr] = cls
+        self.live_allocations += 1
+        self.bytes_allocated += self._sizes[addr]
+        return addr
+
+    def kfree(self, addr: int) -> None:
+        if addr == 0:
+            return  # kfree(NULL) is a no-op, as in Linux
+        size = self._sizes.pop(addr, None)
+        if size is None:
+            raise KernelPanic(f"kfree of unknown address {addr:#x}")
+        self.live_allocations -= 1
+        self.bytes_allocated -= size
+        if size in _SIZE_CLASSES:
+            self._partial[size].append(addr)
+        else:
+            phys = layout.direct_map_to_phys(addr)
+            self.pages.free_pages(phys, size // layout.PAGE_SIZE)
+
+    def usable_size(self, addr: int) -> int:
+        """ksize() analog; 0 for unknown addresses."""
+        return self._sizes.get(addr, 0)
+
+    def owns(self, addr: int) -> bool:
+        return addr in self._sizes
+
+    def allocation_range(self, addr: int) -> tuple[int, int]:
+        """(base, size) of the allocation containing ``addr``, if known."""
+        # Exact-base fast path.
+        size = self._sizes.get(addr)
+        if size is not None:
+            return addr, size
+        for base, sz in self._sizes.items():
+            if base <= addr < base + sz:
+                return base, sz
+        raise KeyError(f"{addr:#x} is not a kmalloc address")
+
+
+__all__ = ["KmallocAllocator", "PageAllocator"]

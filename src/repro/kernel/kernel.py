@@ -1,0 +1,393 @@
+"""The kernel facade: boot, natives, insmod/rmmod, dmesg, panic.
+
+This is the "core HPC kernel" the paper wants protected.  Core-kernel
+services (kmalloc, printk, ioremap, memcpy, ...) are **native** Python
+callables — they model compiled core-kernel code, which CARAT KOP never
+instruments (only the *module* is transformed, §3.2).  Module IR executes
+on the VM interpreter, and its loads/stores hit this kernel's address
+space, where forbidden accesses either trip a guard (protected modules)
+or silently corrupt state / fault (unprotected modules) — the contrast
+the examples demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from ..signing import SigningKey
+from . import layout
+from .chardev import DeviceRegistry
+from .irq import IrqController
+from .kalloc import KmallocAllocator, PageAllocator
+from .memory import KernelAddressSpace, MMIODevice, PhysicalMemory
+from .module_loader import CompiledModule, LoadedModule, ModuleLoader
+from .panic import KernelPanic
+from .symbols import SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.interp import Interpreter
+    from ..vm.machine import MachineModel
+
+
+class Kernel:
+    """One booted instance of the simulated machine + kernel."""
+
+    def __init__(
+        self,
+        ram_size: int = 64 << 20,
+        machine: Optional["MachineModel"] = None,
+        signing_key: Optional[SigningKey] = None,
+        require_protected_modules: bool = False,
+    ):
+        self.ram = PhysicalMemory(ram_size)
+        self.address_space = KernelAddressSpace(self.ram)
+        self.page_allocator = PageAllocator(self.ram)
+        self.kmalloc_allocator = KmallocAllocator(self.page_allocator)
+        self.symbols = SymbolTable()
+        self.devices = DeviceRegistry()
+        self.irq = IrqController(self)
+        self.loader = ModuleLoader(self)
+        from .proc import ProcFS
+        from .timers import TimerWheel
+
+        self.proc = ProcFS(self)
+        self.timers = TimerWheel(self)
+        self._logical_us = 0.0
+        self.signing_key = signing_key
+        self.require_protected_modules = require_protected_modules
+        self.machine = machine
+        self._dmesg: list[str] = []
+        self.panicked: Optional[str] = None
+        self._vm: Optional["Interpreter"] = None
+        self._ioremap_next = layout.VMALLOC_BASE
+        # Kernel stack backing for interpreter frames.
+        stack_phys = self.page_allocator.alloc_pages(
+            layout.KSTACK_SIZE // layout.PAGE_SIZE
+        )
+        self.address_space.map_linear(
+            layout.KSTACK_BASE, layout.KSTACK_SIZE, stack_phys, "kstack"
+        )
+        self._register_core_natives()
+
+    # -- logging / panic ---------------------------------------------------------
+
+    def dmesg(self, message: str) -> None:
+        self._dmesg.append(message)
+
+    @property
+    def dmesg_log(self) -> list[str]:
+        return list(self._dmesg)
+
+    def panic(self, reason: str) -> "NoReturn":  # type: ignore[name-defined]  # noqa: F821
+        self.panicked = reason
+        self.dmesg(f"Kernel panic - not syncing: {reason}")
+        raise KernelPanic(reason)
+
+    # -- the VM ---------------------------------------------------------------------
+
+    @property
+    def vm(self) -> "Interpreter":
+        if self._vm is None:
+            from ..vm.interp import Interpreter
+
+            self._vm = Interpreter(self, machine=self.machine)
+        return self._vm
+
+    def run_function(
+        self, module: LoadedModule, name: str, args: Sequence[int | float]
+    ):
+        """Execute an IR function defined by a loaded module."""
+        return self.vm.call(module, name, list(args))
+
+    # -- time ------------------------------------------------------------------------
+
+    def time_us(self) -> float:
+        """Monotonic microseconds: the VM cycle clock when a machine model
+        is active, a logical counter otherwise."""
+        vm = self._vm
+        if vm is not None and vm.timing is not None and self.machine is not None:
+            return vm.timing.cycles / self.machine.freq_hz * 1e6
+        return self._logical_us
+
+    def advance_time(self, usec: float) -> int:
+        """Let simulated time pass; fires due timers.  Returns the number
+        of timer handlers that ran."""
+        if usec < 0:
+            raise ValueError("time only moves forward")
+        vm = self.vm
+        if vm.timing is not None:
+            vm.timing.add_delay_us(usec)
+        else:
+            self._logical_us += usec
+        return self.timers.run_due()
+
+    # -- module management -----------------------------------------------------------
+
+    def insmod(self, compiled: CompiledModule) -> LoadedModule:
+        return self.loader.insmod(compiled)
+
+    def rmmod(self, name: str) -> None:
+        self.loader.rmmod(name)
+
+    def lsmod(self) -> list[str]:
+        return sorted(self.loader.loaded)
+
+    def retire_symbols(self, owner: str) -> list[str]:
+        """Withdraw ``owner``'s exports and unlink them from every loaded
+        module, so later calls re-resolve (the §3.2 guard-swap path)."""
+        removed = set(self.symbols.remove_owner(owner))
+        for mod in self.loader.loaded.values():
+            for name in list(mod.imports):
+                if name in removed:
+                    del mod.imports[name]
+        return sorted(removed)
+
+    # -- device MMIO -----------------------------------------------------------------
+
+    _mmio_devices: dict[int, tuple[int, MMIODevice, str]]
+
+    def register_mmio(self, device: MMIODevice, size: int, name: str) -> int:
+        """Register a device's physical BAR (above RAM, so it can never
+        collide with the direct map); returns the physical base.  Drivers
+        reach it through the ``ioremap`` native."""
+        if not hasattr(self, "_mmio_devices"):
+            self._mmio_devices = {}
+        base = 0x1_0000_0000 + len(self._mmio_devices) * 0x10_0000
+        self._mmio_devices[base] = (size, device, name)
+        return base
+
+    def ioremap(self, phys: int, size: int) -> int:
+        """Map a physical MMIO window into kernel virtual space."""
+        if not hasattr(self, "_mmio_devices"):
+            self._mmio_devices = {}
+        entry = self._mmio_devices.get(phys)
+        virt = self._ioremap_next
+        self._ioremap_next = layout.page_align_up(
+            virt + max(size, layout.PAGE_SIZE)
+        ) + layout.PAGE_SIZE  # guard page between windows
+        if entry is not None:
+            dev_size, device, name = entry
+            self.address_space.map_mmio(virt, dev_size, device, f"mmio:{name}")
+        else:
+            # ioremap of plain RAM (uncommon but legal in our model).
+            self.address_space.map_linear(virt, size, phys, f"ioremap:{phys:#x}")
+        return virt
+
+    # -- natives --------------------------------------------------------------------
+
+    def _register_core_natives(self) -> None:
+        s = self.symbols
+
+        def n_kmalloc(ctx, size: int, flags: int = 0) -> int:
+            return self.kmalloc_allocator.kmalloc(int(size))
+
+        def n_kfree(ctx, addr: int) -> None:
+            self.kmalloc_allocator.kfree(int(addr))
+
+        def n_printk(ctx, fmt_ptr: int, *args) -> int:
+            fmt = self.address_space.read_cstring(int(fmt_ptr)).decode(
+                "latin-1"
+            )
+            text = _format_printk(self, fmt, args)
+            self.dmesg(text)
+            return len(text)
+
+        def n_panic(ctx, msg_ptr: int) -> None:
+            msg = self.address_space.read_cstring(int(msg_ptr)).decode("latin-1")
+            self.panic(msg)
+
+        def n_memset(ctx, dst: int, value: int, size: int) -> int:
+            self.address_space.write_bytes(
+                int(dst), bytes([int(value) & 0xFF]) * int(size)
+            )
+            return int(dst)
+
+        def n_memcpy(ctx, dst: int, src: int, size: int) -> int:
+            data = self.address_space.read_bytes(int(src), int(size))
+            self.address_space.write_bytes(int(dst), data)
+            return int(dst)
+
+        def n_ioremap(ctx, phys: int, size: int) -> int:
+            return self.ioremap(int(phys), int(size))
+
+        def n_virt_to_phys(ctx, virt: int) -> int:
+            virt = int(virt)
+            if virt < layout.DIRECT_MAP_BASE:
+                self.panic(f"virt_to_phys of non-direct-map address {virt:#x}")
+            return layout.direct_map_to_phys(virt)
+
+        def n_phys_to_virt(ctx, phys: int) -> int:
+            return layout.direct_map_address(int(phys))
+
+        def n_udelay(ctx, usec: int) -> None:
+            if ctx is not None and ctx.timing is not None:
+                ctx.timing.add_delay_us(int(usec))
+
+        def n_get_cycles(ctx) -> int:
+            if ctx is not None and ctx.timing is not None:
+                return int(ctx.timing.cycles)
+            return 0
+
+        # Privileged intrinsics (paper §5): callable by any module unless
+        # the intrinsic-guard extension is compiled in and the policy
+        # denies them.  They model MSR/interrupt-flag/port operations.
+        self.msr: dict[int, int] = {}
+        self.interrupts_enabled = True
+
+        def n_wrmsr(ctx, msr: int, value: int) -> None:
+            self.msr[int(msr)] = int(value)
+            self.dmesg(f"wrmsr({int(msr):#x}) = {int(value):#x}")
+
+        def n_rdmsr(ctx, msr: int) -> int:
+            return self.msr.get(int(msr), 0)
+
+        def n_cli(ctx) -> None:
+            self.interrupts_enabled = False
+
+        def n_sti(ctx) -> None:
+            self.interrupts_enabled = True
+
+        def n_hlt(ctx) -> None:
+            self.dmesg("hlt executed")
+
+        s.export_native("wrmsr", n_wrmsr)
+        s.export_native("rdmsr", n_rdmsr)
+        s.export_native("cli", n_cli)
+        s.export_native("sti", n_sti)
+        s.export_native("hlt", n_hlt)
+        s.export_native("kmalloc", n_kmalloc)
+        s.export_native("kfree", n_kfree)
+        s.export_native("printk", n_printk)
+        s.export_native("panic", n_panic)
+        s.export_native("memset", n_memset)
+        s.export_native("memcpy", n_memcpy)
+        s.export_native("ioremap", n_ioremap)
+        s.export_native("virt_to_phys", n_virt_to_phys)
+        s.export_native("phys_to_virt", n_phys_to_virt)
+        s.export_native("udelay", n_udelay)
+        s.export_native("get_cycles", n_get_cycles)
+
+        # netif_rx: the core network stack's receive entry point.  The
+        # active net device layer plugs in a handler; without one, frames
+        # are counted and dropped (no stack listening).
+        self.netif_rx_handler: Optional[Callable] = None
+        self.netif_rx_dropped = 0
+
+        def n_netif_rx(ctx, data: int, length: int) -> None:
+            if self.netif_rx_handler is not None:
+                self.netif_rx_handler(ctx, int(data), int(length))
+            else:
+                self.netif_rx_dropped += 1
+
+        s.export_native("netif_rx", n_netif_rx)
+
+        def n_request_irq(ctx, line: int, handler_name_ptr: int) -> int:
+            """request_irq(line, "handler") from module code."""
+            if ctx is None or ctx.current_module is None:
+                return -1
+            handler = self.address_space.read_cstring(
+                int(handler_name_ptr)
+            ).decode()
+            from .irq import IrqError
+
+            try:
+                self.irq.request_irq(int(line), ctx.current_module, handler)
+                return 0
+            except IrqError as e:
+                self.dmesg(f"request_irq failed: {e}")
+                return -1
+
+        def n_free_irq(ctx, line: int) -> None:
+            if ctx is not None and ctx.current_module is not None:
+                from .irq import IrqError
+
+                try:
+                    self.irq.free_irq(int(line), ctx.current_module)
+                except IrqError as e:
+                    self.dmesg(f"free_irq failed: {e}")
+
+        s.export_native("request_irq", n_request_irq)
+        s.export_native("free_irq", n_free_irq)
+
+        def n_mod_timer(ctx, handler_ptr: int, delay_us: int, arg: int = 0) -> int:
+            if ctx is None or ctx.current_module is None:
+                return -1
+            name = self.address_space.read_cstring(int(handler_ptr)).decode()
+            try:
+                return self.timers.mod_timer(
+                    ctx.current_module, name, float(delay_us), int(arg)
+                )
+            except ValueError as e:
+                self.dmesg(f"mod_timer failed: {e}")
+                return -1
+
+        def n_del_timer(ctx, timer_id: int) -> int:
+            return int(self.timers.del_timer(int(timer_id)))
+
+        def n_time_us(ctx) -> int:
+            return int(self.time_us())
+
+        s.export_native("mod_timer", n_mod_timer)
+        s.export_native("del_timer", n_del_timer)
+        s.export_native("time_us", n_time_us)
+
+    def export_native(self, name: str, fn: Callable, owner: str = "kernel",
+                      private: bool = False) -> None:
+        """Register an additional native (device glue, policy hooks...)."""
+        self.symbols.export_native(name, fn, owner=owner, private=private)
+
+
+def _format_printk(kernel: Kernel, fmt: str, args: tuple) -> str:
+    """A printf subset: %d %u %x %lx %llx %s %c %p %%."""
+    out: list[str] = []
+    i = 0
+    argi = 0
+
+    def next_arg():
+        nonlocal argi
+        if argi >= len(args):
+            return 0
+        v = args[argi]
+        argi += 1
+        return v
+
+    while i < len(fmt):
+        c = fmt[i]
+        if c != "%":
+            out.append(c)
+            i += 1
+            continue
+        i += 1
+        # length modifiers
+        while i < len(fmt) and fmt[i] in "l0123456789.":
+            i += 1
+        if i >= len(fmt):
+            break
+        spec = fmt[i]
+        i += 1
+        if spec == "%":
+            out.append("%")
+        elif spec in ("d", "i"):
+            v = int(next_arg())
+            if v >= 1 << 63:
+                v -= 1 << 64
+            out.append(str(v))
+        elif spec == "u":
+            out.append(str(int(next_arg())))
+        elif spec in ("x", "X"):
+            text = format(int(next_arg()), "x")
+            out.append(text.upper() if spec == "X" else text)
+        elif spec == "p":
+            out.append(f"{int(next_arg()):#018x}")
+        elif spec == "c":
+            out.append(chr(int(next_arg()) & 0xFF))
+        elif spec == "s":
+            out.append(
+                kernel.address_space.read_cstring(int(next_arg())).decode("latin-1")
+            )
+        else:
+            out.append(f"%{spec}")
+    return "".join(out)
+
+
+__all__ = ["Kernel"]

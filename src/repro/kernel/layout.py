@@ -1,0 +1,84 @@
+"""Simulated x86-64 Linux kernel address-space layout.
+
+The constants mirror the real x86-64 layout the paper's guards reason
+about (§1 footnote: "the physical address space is remapped in the kernel
+to be accessible at a known offset in the virtual address space", and §4.2
+footnote 5: the two-region demo policy is "kernel addresses (the 'high
+half') are allowed, but user addresses (the 'low half') are disallowed").
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = ~(PAGE_SIZE - 1)
+
+#: Top of the canonical user half ("low half").
+USER_SPACE_END = 0x0000_7FFF_FFFF_FFFF
+
+#: Bottom of the canonical kernel half ("high half").
+KERNEL_SPACE_START = 0xFFFF_8000_0000_0000
+
+#: The direct map: all physical RAM appears here at a fixed offset.
+DIRECT_MAP_BASE = 0xFFFF_8880_0000_0000
+
+#: vmalloc area (used by our ioremap for device MMIO windows).
+VMALLOC_BASE = 0xFFFF_C900_0000_0000
+VMALLOC_SIZE = 1 << 32
+
+#: Kernel text/data ("core kernel image").
+KERNEL_TEXT_BASE = 0xFFFF_FFFF_8000_0000
+KERNEL_TEXT_SIZE = 512 << 20
+
+#: Loadable-module region (module globals/state live here).
+MODULE_AREA_BASE = 0xFFFF_FFFF_A000_0000
+MODULE_AREA_SIZE = 1 << 30
+
+#: Per-thread kernel stacks (our VM allocates interpreter frames here).
+KSTACK_BASE = 0xFFFF_C600_0000_0000
+KSTACK_SIZE = 1 << 24
+
+
+def page_align_up(n: int) -> int:
+    return (n + PAGE_SIZE - 1) & PAGE_MASK
+
+
+def is_kernel_address(addr: int) -> bool:
+    """True for the canonical high half."""
+    return addr >= KERNEL_SPACE_START
+
+
+def is_user_address(addr: int) -> bool:
+    return 0 <= addr <= USER_SPACE_END
+
+
+def direct_map_address(phys: int) -> int:
+    """Kernel virtual address of physical address ``phys``."""
+    return DIRECT_MAP_BASE + phys
+
+
+def direct_map_to_phys(virt: int) -> int:
+    return virt - DIRECT_MAP_BASE
+
+
+__all__ = [
+    "DIRECT_MAP_BASE",
+    "KERNEL_SPACE_START",
+    "KERNEL_TEXT_BASE",
+    "KERNEL_TEXT_SIZE",
+    "KSTACK_BASE",
+    "KSTACK_SIZE",
+    "MODULE_AREA_BASE",
+    "MODULE_AREA_SIZE",
+    "PAGE_MASK",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "USER_SPACE_END",
+    "VMALLOC_BASE",
+    "VMALLOC_SIZE",
+    "direct_map_address",
+    "direct_map_to_phys",
+    "is_kernel_address",
+    "is_user_address",
+    "page_align_up",
+]

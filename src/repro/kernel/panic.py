@@ -1,0 +1,41 @@
+"""Kernel panic and fault machinery.
+
+Paper §3.1: "in this work we currently do not cleanly handle forbidden
+accesses, and instead log that they occur and cause a kernel panic" —
+and argues a hard stop is the *correct* response in production HPC.
+A panic here is an exception that unwinds the whole simulated machine;
+tests assert both that violations panic and that the dmesg log records
+the offending access.
+"""
+
+from __future__ import annotations
+
+
+class KernelPanic(Exception):
+    """The simulated kernel has halted.  Not catchable by module code."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"Kernel panic - not syncing: {reason}")
+        self.reason = reason
+
+
+class MemoryFault(Exception):
+    """An access to an unmapped or ill-formed address.
+
+    In the real kernel this is an oops/page-fault; unprotected module code
+    that faults takes the whole machine down, which is exactly the hazard
+    CARAT KOP exists to prevent *before* the access happens.
+    """
+
+    def __init__(self, addr: int, size: int, write: bool, detail: str = ""):
+        kind = "write to" if write else "read from"
+        msg = f"unable to handle {kind} {addr:#018x} (size {size})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.addr = addr
+        self.size = size
+        self.write = write
+
+
+__all__ = ["KernelPanic", "MemoryFault"]

@@ -1,0 +1,107 @@
+"""/proc-style introspection: the operator's window into the kernel.
+
+Read-only text files summarizing live kernel state, in the spirit of the
+Linux originals.  ``/proc/carat`` is the CARAT KOP-specific one: the
+active policy, its index structure, and guard statistics — what an
+operator consults before deciding whether a DENY in dmesg was cause (1),
+(2), or (3) from paper §3.1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class ProcFS:
+    """Lazily rendered read-only /proc files."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._files: dict[str, Callable[[], str]] = {
+            "/proc/modules": self._modules,
+            "/proc/interrupts": self._interrupts,
+            "/proc/meminfo": self._meminfo,
+            "/proc/devices": self._devices,
+            "/proc/carat": self._carat,
+        }
+
+    def read(self, path: str) -> str:
+        render = self._files.get(path)
+        if render is None:
+            raise FileNotFoundError(path)
+        return render()
+
+    def paths(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- renderers ------------------------------------------------------------
+
+    def _modules(self) -> str:
+        lines = []
+        for name, mod in sorted(self.kernel.loader.loaded.items()):
+            guards = mod.compiled.guard_count
+            prot = "protected" if mod.compiled.is_protected else "unprotected"
+            lines.append(
+                f"{name} {mod.size} refcnt={mod.refcount} {prot} "
+                f"guards={guards} base={mod.base:#x}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def _interrupts(self) -> str:
+        lines = []
+        for line in sorted(self.kernel.irq._actions):
+            a = self.kernel.irq._actions[line]
+            lines.append(
+                f"{line:>4}: {a.fired:>10} {a.coalesced:>8} {a.name}"
+            )
+        header = f"{'IRQ':>4}  {'fired':>9} {'coalsc':>8} device\n"
+        return header + "\n".join(lines) + ("\n" if lines else "")
+
+    def _meminfo(self) -> str:
+        km = self.kernel.kmalloc_allocator
+        pa = self.kernel.page_allocator
+        total = self.kernel.ram.size
+        return (
+            f"MemTotal:       {total // 1024} kB\n"
+            f"PagesAllocated: {pa.allocated_pages}\n"
+            f"KmallocLive:    {km.live_allocations}\n"
+            f"KmallocBytes:   {km.bytes_allocated}\n"
+            f"Resident:       {self.kernel.ram.resident_bytes // 1024} kB\n"
+        )
+
+    def _devices(self) -> str:
+        return "\n".join(self.kernel.devices.paths()) + "\n"
+
+    def _carat(self) -> str:
+        from ..policy.module import DEVICE_PATH
+
+        device = self.kernel.devices.get(DEVICE_PATH)
+        if device is None:
+            return "carat: no policy module loaded\n"
+        policy = device  # CaratPolicyModule registers itself as the chardev
+        s = policy.stats
+        lines = [
+            f"index: {policy.index.name}",
+            f"enforce: {'on' if policy.enforce else 'audit-only'}",
+            f"checks: {s.checks}",
+            f"allowed: {s.allowed}",
+            f"denied: {s.denied}",
+            f"entries_scanned: {s.entries_scanned}",
+            f"intrinsic_checks: {s.intrinsic_checks}",
+            f"intrinsic_denied: {s.intrinsic_denied}",
+        ]
+        calls = getattr(policy, "allowed_calls", None)
+        lines.append(
+            "call_policy: allow-all" if calls is None
+            else f"call_policy: allowlist({len(calls)})"
+        )
+        lines.append(policy.index.describe()
+                     if hasattr(policy.index, "describe")
+                     else f"regions: {len(policy.index)}")
+        return "\n".join(lines) + "\n"
+
+
+__all__ = ["ProcFS"]

@@ -1,0 +1,104 @@
+"""Kernel symbol table.
+
+Modules link against the kernel through exported symbols, exactly the
+mechanism CARAT KOP piggybacks on: the policy module "provides a single
+symbol, ``carat_guard``, which is invoked by modules which have been
+transformed by the compiler" (§3.1), and a protected module "is linked
+against the policy module's implementation of ``carat_guard``" at
+insertion (§3.2), allowing "one guard function to be swapped for another
+without having to recompile the guarded module".
+
+A symbol resolves to either a **native** implementation (a Python
+callable standing in for compiled core-kernel code) or an **IR function**
+exported by another loaded module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..ir import Function
+
+
+class Symbol:
+    """One exported kernel symbol."""
+
+    __slots__ = ("name", "native", "function", "owner", "private")
+
+    def __init__(
+        self,
+        name: str,
+        native: Optional[Callable] = None,
+        function: Optional[Function] = None,
+        owner: str = "kernel",
+        private: bool = False,
+    ):
+        if (native is None) == (function is None):
+            raise ValueError("symbol needs exactly one of native/function")
+        self.name = name
+        self.native = native
+        self.function = function
+        self.owner = owner
+        self.private = private
+
+    @property
+    def is_native(self) -> bool:
+        return self.native is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "native" if self.is_native else "ir"
+        return f"<Symbol {self.name} ({kind}, owner={self.owner})>"
+
+
+class SymbolTable:
+    """Name -> Symbol map with ownership tracking for rmmod."""
+
+    def __init__(self) -> None:
+        self._symbols: dict[str, Symbol] = {}
+
+    def export(self, symbol: Symbol) -> None:
+        if symbol.name in self._symbols:
+            raise ValueError(f"symbol {symbol.name!r} already exported")
+        self._symbols[symbol.name] = symbol
+
+    def export_native(
+        self, name: str, fn: Callable, owner: str = "kernel", private: bool = False
+    ) -> Symbol:
+        sym = Symbol(name, native=fn, owner=owner, private=private)
+        self.export(sym)
+        return sym
+
+    def export_function(
+        self, name: str, fn: Function, owner: str, private: bool = False
+    ) -> Symbol:
+        sym = Symbol(name, function=fn, owner=owner, private=private)
+        self.export(sym)
+        return sym
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        return self._symbols.get(name)
+
+    def resolve(self, name: str) -> Symbol:
+        sym = self._symbols.get(name)
+        if sym is None:
+            raise KeyError(f"unresolved kernel symbol {name!r}")
+        return sym
+
+    def remove_owner(self, owner: str) -> list[str]:
+        """Withdraw every symbol exported by ``owner`` (module unload)."""
+        removed = [n for n, s in self._symbols.items() if s.owner == owner]
+        for n in removed:
+            del self._symbols[n]
+        return removed
+
+    def owned_by(self, owner: str) -> list[Symbol]:
+        return [s for s in self._symbols.values() if s.owner == owner]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+
+__all__ = ["Symbol", "SymbolTable"]

@@ -1,0 +1,18 @@
+"""Mini-C front end: the C subset kernel modules are written in."""
+
+from .codegen import CodeGenerator, CompileError, compile_source
+from .ctypes_ import CType
+from .lexer import LexError, Token, tokenize
+from .parser import CParseError, parse
+
+__all__ = [
+    "CodeGenerator",
+    "CompileError",
+    "CParseError",
+    "CType",
+    "LexError",
+    "Token",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,196 @@
+"""Lexer for the mini-C front end.
+
+Mini-C is the C subset the reproduction's kernel modules are written in
+(standing in for the C the e1000e driver is written in).  The lexer is a
+single-pass scanner producing a flat token list; there is no preprocessor
+— constants use ``enum`` and ``static const`` instead of ``#define``.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "float", "double",
+        "unsigned", "signed", "struct", "enum", "sizeof",
+        "if", "else", "while", "do", "for", "return", "break", "continue",
+        "switch", "case", "default",
+        "static", "extern", "const", "volatile",
+        "__export", "__asm__", "null",
+    }
+)
+
+PUNCTUATION = (
+    # Three-char operators first so maximal munch works.
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+_PUNCT_RE = re.compile("|".join(re.escape(p) for p in PUNCTUATION))
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+")
+_FLOAT_RE = re.compile(r"\d+\.\d+([eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?")
+_INT_RE = re.compile(r"\d+")
+_SUFFIX_RE = re.compile(r"[uUlL]*")
+
+
+class Token:
+    """A lexical token with source position for diagnostics."""
+
+    __slots__ = ("kind", "text", "value", "line", "col")
+
+    def __init__(self, kind: str, text: str, line: int, col: int, value=None):
+        self.kind = kind  # 'kw' | 'ident' | 'int' | 'float' | 'char' | 'string' | 'punct' | 'eof'
+        self.text = text
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+def _scan_escape(src: str, i: int, line: int, col: int) -> tuple[int, int]:
+    """Scan an escape sequence starting after the backslash.
+
+    Returns (byte_value, next_index).
+    """
+    if i >= len(src):
+        raise LexError("escape at end of input", line, col)
+    c = src[i]
+    if c == "x":
+        # Unlike C's maximal munch, mini-C caps \x at two digits so
+        # "\x00c" means NUL followed by 'c'.
+        j = i + 1
+        while j < len(src) and j - i <= 2 and src[j] in "0123456789abcdefABCDEF":
+            j += 1
+        if j == i + 1:
+            raise LexError("empty hex escape", line, col)
+        return int(src[i + 1 : j], 16) & 0xFF, j
+    if c in _ESCAPES:
+        return _ESCAPES[c], i + 1
+    raise LexError(f"unknown escape \\{c}", line, col)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C source; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        c = source[i]
+        col = i - line_start + 1
+        if c == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise LexError("unterminated block comment", line, col)
+            line += source.count("\n", i, j)
+            # Recompute line_start so columns stay sane after the comment.
+            nl = source.rfind("\n", i, j)
+            if nl >= 0:
+                line_start = nl + 1
+            i = j + 2
+            continue
+        if c == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                value, j = _scan_escape(source, j + 1, line, col)
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise LexError("unterminated char literal", line, col)
+            if j >= n or source[j] != "'":
+                raise LexError("unterminated char literal", line, col)
+            tokens.append(Token("char", source[i : j + 1], line, col, value))
+            i = j + 1
+            continue
+        if c == '"':
+            j = i + 1
+            data = bytearray()
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    b, j = _scan_escape(source, j + 1, line, col)
+                    data.append(b)
+                elif source[j] == "\n":
+                    raise LexError("newline in string literal", line, col)
+                else:
+                    data.append(ord(source[j]))
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line, col)
+            tokens.append(Token("string", source[i : j + 1], line, col, bytes(data)))
+            i = j + 1
+            continue
+        m = _HEX_RE.match(source, i)
+        if m:
+            end = _SUFFIX_RE.match(source, m.end()).end()  # type: ignore[union-attr]
+            tokens.append(
+                Token("int", source[i:end], line, col, int(m.group(), 16))
+            )
+            i = end
+            continue
+        m = _FLOAT_RE.match(source, i)
+        if m:
+            text = m.group()
+            tokens.append(
+                Token("float", text, line, col, float(text.rstrip("fF")))
+            )
+            i = m.end()
+            continue
+        m = _INT_RE.match(source, i)
+        if m:
+            end = _SUFFIX_RE.match(source, m.end()).end()  # type: ignore[union-attr]
+            tokens.append(Token("int", source[i:end], line, col, int(m.group())))
+            i = end
+            continue
+        m = _IDENT_RE.match(source, i)
+        if m:
+            text = m.group()
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            i = m.end()
+            continue
+        m = _PUNCT_RE.match(source, i)
+        if m:
+            tokens.append(Token("punct", m.group(), line, col))
+            i = m.end()
+            continue
+        raise LexError(f"unexpected character {c!r}", line, col)
+    tokens.append(Token("eof", "", line, i - line_start + 1))
+    return tokens
+
+
+__all__ = ["KEYWORDS", "LexError", "Token", "tokenize"]

@@ -1,0 +1,81 @@
+"""Ethernet framing for the raw-packet test tool.
+
+The paper's tool "sends raw Ethernet packets to a fake destination"
+(§4.2); these helpers build and parse those frames.
+"""
+
+from __future__ import annotations
+
+import struct
+
+ETH_HEADER_LEN = 14
+ETH_ZLEN = 60          # minimum frame length without FCS
+ETH_DATA_LEN = 1500    # MTU
+ETH_FRAME_LEN = 1514   # max frame without FCS
+
+ETHERTYPE_EXPERIMENTAL = 0x88B5  # IEEE 802 local experimental
+
+
+class EthernetFrame:
+    """A raw Ethernet II frame."""
+
+    __slots__ = ("dst", "src", "ethertype", "payload")
+
+    def __init__(self, dst: bytes, src: bytes, ethertype: int, payload: bytes):
+        if len(dst) != 6 or len(src) != 6:
+            raise ValueError("MAC addresses are 6 bytes")
+        if not 0 <= ethertype <= 0xFFFF:
+            raise ValueError("bad ethertype")
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.payload = payload
+
+    def encode(self) -> bytes:
+        return self.dst + self.src + struct.pack(">H", self.ethertype) + self.payload
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "EthernetFrame":
+        if len(raw) < ETH_HEADER_LEN:
+            raise ValueError("frame shorter than an Ethernet header")
+        ethertype = struct.unpack(">H", raw[12:14])[0]
+        return cls(raw[0:6], raw[6:12], ethertype, raw[14:])
+
+    def __len__(self) -> int:
+        return ETH_HEADER_LEN + len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<EthernetFrame {self.src.hex(':')} -> {self.dst.hex(':')} "
+            f"type={self.ethertype:#06x} len={len(self)}>"
+        )
+
+
+def make_test_frame(size: int, seq: int = 0,
+                    dst: bytes = b"\x02\x00\x00\x00\xbe\xef",
+                    src: bytes = b"\x52\x54\x00\x12\x34\x56") -> EthernetFrame:
+    """A ``size``-byte frame (header included) to the fake destination.
+
+    The payload is a recognizable pattern carrying the sequence number so
+    sink-side tests can verify ordering and integrity.
+    """
+    if size < ETH_HEADER_LEN:
+        raise ValueError(f"frame size {size} below Ethernet header length")
+    if size > ETH_FRAME_LEN:
+        raise ValueError(f"frame size {size} above {ETH_FRAME_LEN}")
+    payload_len = size - ETH_HEADER_LEN
+    seed = struct.pack(">I", seq & 0xFFFFFFFF)
+    reps = payload_len // len(seed) + 1
+    payload = (seed * reps)[:payload_len]
+    return EthernetFrame(dst, src, ETHERTYPE_EXPERIMENTAL, payload)
+
+
+__all__ = [
+    "ETH_DATA_LEN",
+    "ETH_FRAME_LEN",
+    "ETH_HEADER_LEN",
+    "ETH_ZLEN",
+    "ETHERTYPE_EXPERIMENTAL",
+    "EthernetFrame",
+    "make_test_frame",
+]

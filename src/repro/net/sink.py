@@ -1,0 +1,41 @@
+"""The packet sink the testbed NIC is "attached to" (paper §4.2).
+
+Counts and optionally retains frames so tests can assert on exactly what
+went out on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PacketSink:
+    """Counts delivered frames; optionally keeps the most recent ones."""
+
+    def __init__(self, keep_last: int = 64):
+        self.keep_last = keep_last
+        self.packets = 0
+        self.octets = 0
+        self.recent: list[bytes] = []
+        self.size_histogram: dict[int, int] = {}
+
+    def deliver(self, frame: bytes) -> None:
+        self.packets += 1
+        self.octets += len(frame)
+        self.size_histogram[len(frame)] = self.size_histogram.get(len(frame), 0) + 1
+        if self.keep_last:
+            self.recent.append(frame)
+            if len(self.recent) > self.keep_last:
+                del self.recent[0]
+
+    def last(self) -> Optional[bytes]:
+        return self.recent[-1] if self.recent else None
+
+    def reset(self) -> None:
+        self.packets = 0
+        self.octets = 0
+        self.recent.clear()
+        self.size_histogram.clear()
+
+
+__all__ = ["PacketSink"]

@@ -1,0 +1,27 @@
+"""Compiler passes: analyses, mem2reg, DCE, and the CARAT KOP transforms."""
+
+from .analysis import DominatorTree, Loop, find_loops, unreachable_blocks
+from .attestation import AttestationPass
+from .call_guard import CallGuardPass
+from .dce import DCEPass
+from .guard_injection import GuardInjectionPass
+from .guard_opt import GuardOptPass
+from .manager import ModulePass, PassManager
+from .mem2reg import Mem2RegPass
+from .peephole import PeepholePass
+
+__all__ = [
+    "AttestationPass",
+    "CallGuardPass",
+    "DCEPass",
+    "DominatorTree",
+    "GuardInjectionPass",
+    "GuardOptPass",
+    "Loop",
+    "Mem2RegPass",
+    "ModulePass",
+    "PassManager",
+    "PeepholePass",
+    "find_loops",
+    "unreachable_blocks",
+]

@@ -1,0 +1,81 @@
+"""Kernel-call guarding (paper §5's control-flow concern, implemented).
+
+    "CARAT KOP also does not prevent control-flow attacks, where a module
+     might call an arbitrary function in the kernel to perform a
+     potentially malicious task."
+
+This pass closes the *direct-call* half of that gap: every call from the
+module to an **external kernel symbol** is preceded by::
+
+    call void @carat_call_guard(i8* <symbol name>)
+
+so the policy module can hold a per-kernel allowlist of callable symbols
+("this module may use kmalloc/kfree/printk and nothing else").  Indirect
+calls do not exist in the mini-C subset, so together with the inline-asm
+attestation this gives whole-module call-target integrity.
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionType, Module, PointerType, I8, I8PTR, VOID
+from ..ir.instructions import Call, Cast
+from ..ir.values import ConstantString, GlobalVariable
+from .intrinsic_guard import INTRINSIC_GUARD_SYMBOL
+
+CALL_GUARD_SYMBOL = "carat_call_guard"
+META_CALL_GUARDED = "carat.call_guarded"
+
+#: Guard plumbing itself must not be recursively guarded.
+_EXEMPT = frozenset(
+    {"carat_guard", INTRINSIC_GUARD_SYMBOL, CALL_GUARD_SYMBOL}
+)
+
+
+class CallGuardPass:
+    name = "kop-call-guard"
+
+    def __init__(self) -> None:
+        self.guards_inserted = 0
+
+    def run(self, module: Module) -> bool:
+        if module.metadata.get(META_CALL_GUARDED):
+            return False
+        sites = [
+            (block, inst)
+            for fn in module.defined_functions()
+            for block in fn.blocks
+            for inst in list(block.instructions)
+            if isinstance(inst, Call)
+            and inst.callee.is_declaration
+            and inst.callee.name not in _EXEMPT
+            and not inst.is_guard
+        ]
+        module.metadata[META_CALL_GUARDED] = True
+        if not sites:
+            return False
+        guard = module.declare_function(
+            CALL_GUARD_SYMBOL, FunctionType(VOID, [I8PTR]), "external"
+        )
+        name_globals: dict[str, GlobalVariable] = {}
+        for block, inst in sites:
+            target = inst.callee.name
+            g = name_globals.get(target)
+            if g is None:
+                data = ConstantString(target.encode() + b"\x00")
+                gname = f".callee.{target}"
+                g = module.globals.get(gname)
+                if g is None:
+                    g = GlobalVariable(data.type, gname, data, "internal", True)
+                    module.add_global(g)
+                name_globals[target] = g
+            fn = block.parent
+            assert fn is not None
+            cast = Cast("bitcast", g, PointerType(I8), fn.unique_name("cname"))
+            block.insert_before(cast, inst)
+            call = Call(guard, [cast])
+            block.insert_before(call, inst)
+            self.guards_inserted += 1
+        return True
+
+
+__all__ = ["CALL_GUARD_SYMBOL", "CallGuardPass", "META_CALL_GUARDED"]

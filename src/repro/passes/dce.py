@@ -1,0 +1,53 @@
+"""Trivial dead-code elimination.
+
+Removes instructions with no uses and no side effects (arithmetic, casts,
+geps, unused phis).  Loads are conservatively kept: in a kernel module a
+load may target MMIO, where a read has device-visible effects — exactly
+the kind of access the paper's guards must still see.
+"""
+
+from __future__ import annotations
+
+from ..ir import Function, Module
+from ..ir.instructions import Instruction, Phi
+
+
+class DCEPass:
+    name = "dce"
+
+    def __init__(self) -> None:
+        self.removed = 0
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            changed |= self._run_on_function(fn)
+        return changed
+
+    def _run_on_function(self, fn: Function) -> bool:
+        removed_any = False
+        while True:
+            used: set[int] = set()
+            for inst in fn.instructions():
+                for op in inst.operands:
+                    used.add(id(op))
+                if isinstance(inst, Phi):
+                    for v, _ in inst.incoming:
+                        used.add(id(v))
+            dead: list[Instruction] = [
+                inst
+                for inst in fn.instructions()
+                if not inst.has_side_effects
+                and not inst.is_terminator
+                and id(inst) not in used
+            ]
+            if not dead:
+                return removed_any
+            for inst in dead:
+                assert inst.parent is not None
+                inst.parent.remove(inst)
+                self.removed += 1
+            removed_any = True
+
+
+__all__ = ["DCEPass"]

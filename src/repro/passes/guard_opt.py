@@ -1,0 +1,227 @@
+"""Guard optimization (the CARAT CAKE-style ablation, paper §2/§3.3).
+
+CARAT KOP deliberately ships *without* guard optimization; CARAT CAKE
+"hoists guards and amortizes them across many references" using NOELLE.
+This pass reproduces the two cheapest and highest-yield pieces of that
+optimization so the abl2 benchmark can quantify what unoptimized guarding
+leaves on the table:
+
+1. **Dominating-guard elimination** — a guard is redundant if an identical
+   guard (same address root, same flags, covering size) executes on every
+   path to it.
+2. **Loop-invariant guard hoisting** — a guard whose address is computed
+   outside the loop moves to the preheader and executes once instead of
+   once per iteration.  (Speculative: the hoisted guard fires even when
+   the loop body would have run zero times.  That is the same trade CARAT
+   CAKE makes, and it is conservative in the *safe* direction — it can
+   only reject more, never fewer, accesses.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import abi
+from ..ir import BasicBlock, Function, Module
+from ..ir.instructions import Br, Call, Cast, Instruction
+from ..ir.values import Argument, Constant, ConstantInt, GlobalValue, Value
+from .analysis import DominatorTree, Loop, find_loops
+
+
+def _resolve_pointer_root(value: Value) -> Value:
+    """Look through bitcasts to the underlying pointer computation."""
+    while isinstance(value, Cast) and value.op == "bitcast":
+        value = value.value
+    return value
+
+
+def _guard_key(call: Call) -> Optional[tuple[int, int, int]]:
+    """(address root id, size, flags) for a guard call, if extractable."""
+    addr, size, flags = call.args
+    if not isinstance(size, ConstantInt) or not isinstance(flags, ConstantInt):
+        return None
+    root = _resolve_pointer_root(addr)
+    return (id(root), size.value, flags.value)
+
+
+class GuardOptPass:
+    """Eliminate dominated-redundant guards and hoist loop-invariant ones."""
+
+    name = "kop-guard-opt"
+
+    def __init__(self, hoist_loops: bool = True) -> None:
+        self.hoist_loops = hoist_loops
+        self.guards_removed = 0
+        self.guards_hoisted = 0
+
+    def run(self, module: Module) -> bool:
+        if not module.metadata.get(abi.META_GUARDED):
+            return False  # nothing to optimize until guards exist
+        changed = False
+        for fn in module.defined_functions():
+            if self.hoist_loops:
+                changed |= self._hoist_loop_guards(fn)
+            changed |= self._eliminate_dominated(fn)
+        if changed:
+            remaining = sum(
+                1
+                for fn in module.defined_functions()
+                for inst in fn.instructions()
+                if isinstance(inst, Call) and inst.is_guard
+            )
+            module.metadata[abi.META_GUARD_COUNT] = remaining
+        return changed
+
+    # -- dominance-based elimination ------------------------------------------
+
+    def _eliminate_dominated(self, fn: Function) -> bool:
+        dom = DominatorTree(fn)
+        guards: list[Call] = [
+            inst
+            for inst in fn.instructions()
+            if isinstance(inst, Call) and inst.is_guard
+        ]
+        by_key: dict[tuple[int, int, int], list[Call]] = {}
+        for g in guards:
+            key = _guard_key(g)
+            if key is not None:
+                by_key.setdefault(key, []).append(g)
+        removed = False
+        for key, group in by_key.items():
+            if len(group) < 2:
+                continue
+            kept: list[Call] = []
+            for g in group:
+                dominated = False
+                for k in kept:
+                    if self._guard_dominates(k, g, dom):
+                        dominated = True
+                        break
+                if dominated:
+                    assert g.parent is not None
+                    g.parent.remove(g)
+                    self.guards_removed += 1
+                    removed = True
+                else:
+                    kept.append(g)
+        return removed
+
+    @staticmethod
+    def _guard_dominates(a: Call, b: Call, dom: DominatorTree) -> bool:
+        ba, bb = a.parent, b.parent
+        assert ba is not None and bb is not None
+        if ba is bb:
+            for inst in ba.instructions:
+                if inst is a:
+                    return True
+                if inst is b:
+                    return False
+            return False
+        return dom.dominates(ba, bb)
+
+    # -- loop hoisting ------------------------------------------------------------
+
+    def _hoist_loop_guards(self, fn: Function) -> bool:
+        changed = False
+        # Recompute loops after each preheader insertion (CFG changes).
+        progress = True
+        while progress:
+            progress = False
+            dom = DominatorTree(fn)
+            for loop in find_loops(fn, dom):
+                hoistable = self._hoistable_guards(loop)
+                if not hoistable:
+                    continue
+                preheader = self._get_or_create_preheader(fn, loop)
+                if preheader is None:
+                    continue
+                term = preheader.terminator
+                assert term is not None
+                for guard in hoistable:
+                    # Rebuild the guard in the preheader from the invariant
+                    # address root (its definition dominates the preheader:
+                    # it dominated every use inside the loop, and the
+                    # preheader is on the only non-latch path to the header).
+                    root = _resolve_pointer_root(guard.args[0])
+                    addr: Value = root
+                    if root.type is not guard.args[0].type:
+                        cast = Cast(
+                            "bitcast", root, guard.args[0].type,
+                            fn.unique_name("gaddr"),
+                        )
+                        preheader.insert_before(cast, term)
+                        addr = cast
+                    hoisted = Call(guard.callee, [addr, guard.args[1], guard.args[2]])
+                    hoisted.is_guard = True
+                    preheader.insert_before(hoisted, term)
+                    assert guard.parent is not None
+                    guard.parent.remove(guard)
+                    self.guards_hoisted += 1
+                changed = True
+                progress = True
+                break  # loop structures changed; restart analysis
+        return changed
+
+    def _hoistable_guards(self, loop: Loop) -> list[Call]:
+        loop_ids = {id(b) for b in loop.blocks}
+        out: list[Call] = []
+        for block in loop.blocks:
+            for inst in block.instructions:
+                if not (isinstance(inst, Call) and inst.is_guard):
+                    continue
+                root = _resolve_pointer_root(inst.args[0])
+                if self._defined_outside(root, loop_ids):
+                    out.append(inst)
+        return out
+
+    @staticmethod
+    def _defined_outside(value: Value, loop_ids: set[int]) -> bool:
+        if isinstance(value, (Argument, Constant, GlobalValue)):
+            return True
+        if isinstance(value, Instruction):
+            return value.parent is not None and id(value.parent) not in loop_ids
+        return False
+
+    def _get_or_create_preheader(
+        self, fn: Function, loop: Loop
+    ) -> Optional[BasicBlock]:
+        preds = fn.predecessors()[loop.header]
+        latch_ids = {id(l) for l in loop.latches}
+        entries = [p for p in preds if id(p) not in latch_ids]
+        if len(entries) != 1:
+            return None  # only handle the structured-codegen common case
+        entry = entries[0]
+        term = entry.terminator
+        if isinstance(term, Br) and not term.is_conditional:
+            # The entry block already falls straight into the header: it can
+            # serve as the preheader directly.
+            return entry
+        # Split the edge entry -> header.
+        preheader = BasicBlock(fn.unique_name(f"{loop.header.name}.preheader"), fn)
+        idx = fn.blocks.index(loop.header)
+        fn.blocks.insert(idx, preheader)
+        br = Br(loop.header)
+        br.parent = preheader
+        preheader.instructions.append(br)
+        # Retarget the entry edge.
+        assert term is not None
+        targets = getattr(term, "targets", None)
+        if targets is not None:
+            for i, t in enumerate(targets):
+                if t is loop.header:
+                    targets[i] = preheader
+        if hasattr(term, "default") and term.default is loop.header:  # Switch
+            term.default = preheader
+        if hasattr(term, "cases"):
+            term.cases = [
+                (c, preheader if b is loop.header else b) for c, b in term.cases
+            ]
+        # Fix header phis: the edge from entry now comes from the preheader.
+        for phi in loop.header.phis():
+            phi.incoming = [
+                (v, preheader if b is entry else b) for v, b in phi.incoming
+            ]
+        return preheader
+
+
+__all__ = ["GuardOptPass"]

@@ -1,0 +1,83 @@
+"""Privileged-intrinsic guarding (paper §5 future work, implemented).
+
+    "Instrumentation and wrappers to these builtins could be added during
+     compilation, such that a guard is injected and a different policy
+     table could be consulted to determine if a given kernel module has
+     access to a privileged intrinsic."
+
+The pass wraps every call to a known privileged intrinsic with::
+
+    call void @carat_intrinsic_guard(i8* <name string>)
+
+The policy module keeps a separate allow-set for intrinsics
+(``policy-manager --allow-intrinsic wrmsr``); an unauthorized intrinsic
+panics exactly like a forbidden memory access.
+"""
+
+from __future__ import annotations
+
+from ..ir import FunctionType, Module, PointerType, I8, I8PTR, VOID
+from ..ir.instructions import Call, Cast
+from ..ir.values import ConstantString, GlobalVariable
+
+#: The privileged operations the simulated kernel exposes as natives.
+PRIVILEGED_INTRINSICS = frozenset(
+    {"wrmsr", "rdmsr", "cli", "sti", "hlt", "outb", "inb", "invlpg", "wbinvd"}
+)
+
+INTRINSIC_GUARD_SYMBOL = "carat_intrinsic_guard"
+META_INTRINSIC_GUARDED = "carat.intrinsic_guarded"
+
+
+class IntrinsicGuardPass:
+    name = "kop-intrinsic-guard"
+
+    def __init__(self) -> None:
+        self.guards_inserted = 0
+
+    def run(self, module: Module) -> bool:
+        if module.metadata.get(META_INTRINSIC_GUARDED):
+            return False
+        # Find intrinsic call sites first; declare the guard lazily so
+        # modules that use no intrinsics stay byte-identical.
+        sites = [
+            (block, inst)
+            for fn in module.defined_functions()
+            for block in fn.blocks
+            for inst in list(block.instructions)
+            if isinstance(inst, Call)
+            and inst.callee.name in PRIVILEGED_INTRINSICS
+        ]
+        if not sites:
+            module.metadata[META_INTRINSIC_GUARDED] = True
+            return False
+        guard = module.declare_function(
+            INTRINSIC_GUARD_SYMBOL, FunctionType(VOID, [I8PTR]), "external"
+        )
+        name_globals: dict[str, GlobalVariable] = {}
+        for block, inst in sites:
+            iname = inst.callee.name
+            g = name_globals.get(iname)
+            if g is None:
+                data = ConstantString(iname.encode() + b"\x00")
+                g = GlobalVariable(data.type, f".intr.{iname}", data, "internal", True)
+                module.add_global(g)
+                name_globals[iname] = g
+            fn = block.parent
+            assert fn is not None
+            cast = Cast("bitcast", g, PointerType(I8), fn.unique_name("iname"))
+            block.insert_before(cast, inst)
+            call = Call(guard, [cast])
+            call.is_guard = False  # distinct from memory guards
+            block.insert_before(call, inst)
+            self.guards_inserted += 1
+        module.metadata[META_INTRINSIC_GUARDED] = True
+        return True
+
+
+__all__ = [
+    "INTRINSIC_GUARD_SYMBOL",
+    "IntrinsicGuardPass",
+    "META_INTRINSIC_GUARDED",
+    "PRIVILEGED_INTRINSICS",
+]

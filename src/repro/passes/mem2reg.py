@@ -1,0 +1,219 @@
+"""Promote allocas to SSA registers (classic mem2reg).
+
+The front end lowers every local into an ``alloca`` (clang -O0 style).
+Without promotion, the guard pass would instrument every stack access and
+the guard counts would be wildly unrepresentative of the paper's setup,
+where the kernel is compiled with optimization and only *real* memory
+references survive to the middle end.  ``mem2reg`` promotes any alloca
+whose address never escapes (no use other than direct load/store), using
+iterated dominance frontiers for phi placement.
+"""
+
+from __future__ import annotations
+
+from ..ir import BasicBlock, Function, Module
+from ..ir.instructions import Alloca, Load, Phi, Store
+from ..ir.values import UndefValue, Value
+from .analysis import DominatorTree, unreachable_blocks
+
+
+class Mem2RegPass:
+    """Module pass: SSA promotion of non-escaping allocas."""
+
+    name = "mem2reg"
+
+    def __init__(self) -> None:
+        self.promoted = 0
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for fn in module.defined_functions():
+            changed |= self._run_on_function(fn)
+        return changed
+
+    # -- per function -----------------------------------------------------
+
+    def _run_on_function(self, fn: Function) -> bool:
+        self._remove_unreachable(fn)
+        allocas = self._promotable_allocas(fn)
+        if not allocas:
+            return False
+        dom = DominatorTree(fn)
+        for alloca in allocas:
+            self._promote(fn, alloca, dom)
+            self.promoted += 1
+        return True
+
+    def _remove_unreachable(self, fn: Function) -> None:
+        dead = unreachable_blocks(fn)
+        if not dead:
+            return
+        dead_ids = {id(b) for b in dead}
+        for b in fn.blocks:
+            if id(b) in dead_ids:
+                continue
+            for phi in b.phis():
+                kept = [(v, blk) for v, blk in phi.incoming if id(blk) not in dead_ids]
+                if len(kept) != len(phi.incoming):
+                    phi.incoming = kept
+                    phi.operands = [v for v, _ in kept]
+        fn.blocks = [b for b in fn.blocks if id(b) not in dead_ids]
+
+    def _promotable_allocas(self, fn: Function) -> list[Alloca]:
+        """Allocas used only by direct scalar loads and stores of the value."""
+        allocas = [
+            inst
+            for inst in fn.instructions()
+            if isinstance(inst, Alloca)
+            and inst.count == 1
+            and not inst.allocated_type.is_aggregate
+        ]
+        if not allocas:
+            return []
+        candidate = {id(a): True for a in allocas}
+        for inst in fn.instructions():
+            for op in inst.operands:
+                if isinstance(op, Alloca) and id(op) in candidate:
+                    if isinstance(inst, Load) and inst.pointer is op:
+                        continue
+                    if (
+                        isinstance(inst, Store)
+                        and inst.pointer is op
+                        and inst.value is not op
+                    ):
+                        continue
+                    candidate[id(op)] = False  # address escapes
+            # Geps/casts/calls taking the alloca as any operand disqualify it
+            # (covered above since they aren't Load/Store in the right slot).
+        return [a for a in allocas if candidate[id(a)]]
+
+    def _promote(self, fn: Function, alloca: Alloca, dom: DominatorTree) -> None:
+        loads: list[Load] = []
+        stores: list[Store] = []
+        for inst in fn.instructions():
+            if isinstance(inst, Load) and inst.pointer is alloca:
+                loads.append(inst)
+            elif isinstance(inst, Store) and inst.pointer is alloca:
+                stores.append(inst)
+
+        ty = alloca.allocated_type
+        def_blocks = {id(s.parent): s.parent for s in stores if s.parent}
+
+        # Phi placement at the iterated dominance frontier of the defs.
+        phi_blocks: dict[int, Phi] = {}
+        work = list(def_blocks.values())
+        seen = set(def_blocks)
+        while work:
+            b = work.pop()
+            for df in dom.frontiers.get(id(b), []):
+                if id(df) in phi_blocks:
+                    continue
+                phi = Phi(ty, fn.unique_name(f"{alloca.name or 'mem'}.phi"))
+                phi.parent = df
+                df.instructions.insert(0, phi)
+                phi_blocks[id(df)] = phi
+                if id(df) not in seen:
+                    seen.add(id(df))
+                    work.append(df)
+
+        # Rename: walk the dominator tree carrying the reaching definition.
+        undef = UndefValue(ty)
+        replacements: dict[int, Value] = {}
+
+        def rename(block: BasicBlock, incoming: Value) -> None:
+            stack = [(block, incoming)]
+            visited: set[int] = set()
+            while stack:
+                blk, value = stack.pop()
+                if id(blk) in visited:
+                    continue
+                visited.add(id(blk))
+                phi = phi_blocks.get(id(blk))
+                if phi is not None:
+                    value = phi
+                for inst in list(blk.instructions):
+                    if isinstance(inst, Load) and inst.pointer is alloca:
+                        replacements[id(inst)] = value
+                        blk.remove(inst)
+                    elif isinstance(inst, Store) and inst.pointer is alloca:
+                        value = inst.value
+                        blk.remove(inst)
+                for succ in blk.successors:
+                    sphi = phi_blocks.get(id(succ))
+                    if sphi is not None:
+                        sphi.add_incoming(
+                            replacements.get(id(value), value), blk
+                        )
+                for child in dom.children.get(id(blk), []):
+                    stack.append((child, value))
+
+        rename(fn.entry, undef)
+
+        # Apply load replacements everywhere (transitively through chains).
+        def resolve(v: Value) -> Value:
+            while id(v) in replacements:
+                nv = replacements[id(v)]
+                if nv is v:
+                    break
+                v = nv
+            return v
+
+        for inst in fn.instructions():
+            for i, op in enumerate(inst.operands):
+                inst.operands[i] = resolve(op)
+            if isinstance(inst, Phi):
+                inst.incoming = [
+                    (resolve(v), b) for v, b in inst.incoming
+                ]
+                inst.operands = [v for v, _ in inst.incoming]
+
+        # Remove the alloca itself.
+        if alloca.parent is not None:
+            alloca.parent.remove(alloca)
+
+        # Prune phis whose incoming edges were never completed (blocks whose
+        # predecessor never executed a rename because it is unreachable) and
+        # phis that are trivially redundant (all incoming identical).
+        self._simplify_phis(fn)
+
+    def _simplify_phis(self, fn: Function) -> None:
+        changed = True
+        while changed:
+            changed = False
+            preds = fn.predecessors()
+            for block in fn.blocks:
+                for phi in list(block.phis()):
+                    # Fill any missing predecessor edges with undef.
+                    have = {id(b) for _, b in phi.incoming}
+                    for p in preds[block]:
+                        if id(p) not in have:
+                            phi.add_incoming(UndefValue(phi.type), p)
+                    distinct = {
+                        id(v) for v, _ in phi.incoming if v is not phi
+                        and not isinstance(v, UndefValue)
+                    }
+                    values = [
+                        v for v, _ in phi.incoming
+                        if v is not phi and not isinstance(v, UndefValue)
+                    ]
+                    if len(distinct) == 1:
+                        replacement = values[0]
+                        self._replace_everywhere(fn, phi, replacement)
+                        block.remove(phi)
+                        changed = True
+                    elif len(distinct) == 0:
+                        self._replace_everywhere(fn, phi, UndefValue(phi.type))
+                        block.remove(phi)
+                        changed = True
+
+    @staticmethod
+    def _replace_everywhere(fn: Function, old: Value, new: Value) -> None:
+        for inst in fn.instructions():
+            inst.replace_operand(old, new)
+            if isinstance(inst, Phi):
+                inst.incoming = [
+                    (new if v is old else v, b) for v, b in inst.incoming
+                ]
+
+
+__all__ = ["Mem2RegPass"]

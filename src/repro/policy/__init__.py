@@ -1,0 +1,41 @@
+"""Policy: region tables, alternative indexes, the policy module, manager."""
+
+from .manager import PolicyManager
+from .miner import AccessRecord, MinedPolicy, PolicyMiner
+from .module import CaratPolicyModule, PolicyStats
+from .region import Decision, Region
+from .structures import (
+    AMQFilterIndex,
+    BloomFilter,
+    CachedIndex,
+    LSHBucketIndex,
+    OverlapError,
+    STRUCTURES,
+    SortedRegionIndex,
+    SplayRegionIndex,
+    make_index,
+)
+from .table import MAX_REGIONS, PolicyTableFull, RegionTable
+
+__all__ = [
+    "AMQFilterIndex",
+    "AccessRecord",
+    "MinedPolicy",
+    "PolicyMiner",
+    "BloomFilter",
+    "CachedIndex",
+    "CaratPolicyModule",
+    "Decision",
+    "LSHBucketIndex",
+    "MAX_REGIONS",
+    "OverlapError",
+    "PolicyManager",
+    "PolicyStats",
+    "PolicyTableFull",
+    "Region",
+    "RegionTable",
+    "STRUCTURES",
+    "SortedRegionIndex",
+    "SplayRegionIndex",
+    "make_index",
+]

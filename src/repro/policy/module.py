@@ -1,0 +1,332 @@
+"""The CARAT KOP policy module (paper §3.1).
+
+A native "kernel module" that:
+
+- privately exports the single symbol ``carat_guard`` ("a callback to a
+  CARAT CAKE runtime function that is privately exported from the
+  kernel", §2),
+- owns the policy index (the 64-entry region table by default, swappable
+  for any structure in :mod:`repro.policy.structures`),
+- registers ``/dev/carat`` and implements the ioctl protocol the
+  ``policy-manager`` application speaks (Figure 1),
+- on a forbidden access: logs and panics the kernel (§3.1), optionally
+  audit-only for research runs.
+
+It also exports ``carat_intrinsic_guard`` for the §5 privileged-intrinsic
+extension.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .. import abi
+from ..kernel.chardev import EINVAL, ENOSPC, ENOTTY, EPERM, IoctlError
+from ..kernel.kernel import Kernel
+from ..vm.interp import GuardViolation
+from .region import Region
+from .table import PolicyTableFull, RegionTable
+
+# ioctl command numbers (arbitrary but stable; think _IOW('k', n, ...)).
+CMD_ADD_REGION = 0xC0DE0001
+CMD_DEL_REGION = 0xC0DE0002
+CMD_CLEAR = 0xC0DE0003
+CMD_SET_DEFAULT = 0xC0DE0004
+CMD_GET_STATS = 0xC0DE0005
+CMD_GET_REGION = 0xC0DE0006
+CMD_COUNT = 0xC0DE0007
+CMD_SET_ENFORCE = 0xC0DE0008
+CMD_ALLOW_INTRINSIC = 0xC0DE0009
+CMD_DENY_INTRINSIC = 0xC0DE000A
+CMD_ALLOW_CALL = 0xC0DE000B
+CMD_DENY_CALL = 0xC0DE000C
+CMD_CALL_POLICY = 0xC0DE000D  # arg: u32, 0 = allow-all, 1 = allowlist
+#: Per-module region ops: payload = 32-byte NUL-padded module name,
+#: then the same struct as the global variant.
+CMD_ADD_REGION_FOR = 0xC0DE000E
+CMD_CLEAR_FOR = 0xC0DE000F
+
+_NAME_LEN = 32
+
+_REGION_FMT = "<QQI"  # base, length, prot
+_STATS_FMT = "<QQQQQ"  # checks, allowed, denied, entries_scanned, regions
+
+DEVICE_PATH = "/dev/carat"
+MODULE_NAME = "carat_kop_policy"
+
+
+class PolicyStats:
+    __slots__ = ("checks", "allowed", "denied", "entries_scanned",
+                 "intrinsic_checks", "intrinsic_denied")
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.allowed = 0
+        self.denied = 0
+        self.entries_scanned = 0
+        self.intrinsic_checks = 0
+        self.intrinsic_denied = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+
+class CaratPolicyModule:
+    """The policy module; one per kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        index=None,
+        enforce: bool = True,
+    ):
+        self.kernel = kernel
+        self.index = index if index is not None else RegionTable()
+        self.enforce = enforce
+        self.stats = PolicyStats()
+        self.allowed_intrinsics: set[str] = set()
+        #: Kernel symbols a module may call (paper §5 control-flow
+        #: extension).  ``None`` = allow-all (the default, like stock
+        #: CARAT KOP); a set = strict allowlist.
+        self.allowed_calls: Optional[set[str]] = None
+        #: Per-module region tables (paper §5: "a different policy table
+        #: could be consulted" per module).  A module with an entry here
+        #: is checked against ITS table; others use the global index.
+        self.module_indexes: dict[str, object] = {}
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "CaratPolicyModule":
+        if self._installed:
+            raise RuntimeError("policy module already installed")
+        self.kernel.symbols.export_native(
+            abi.GUARD_SYMBOL, self._guard, owner=MODULE_NAME, private=True
+        )
+        self.kernel.symbols.export_native(
+            "carat_intrinsic_guard",
+            self._intrinsic_guard,
+            owner=MODULE_NAME,
+            private=True,
+        )
+        self.kernel.symbols.export_native(
+            "carat_call_guard",
+            self._call_guard,
+            owner=MODULE_NAME,
+            private=True,
+        )
+        self.kernel.devices.register(DEVICE_PATH, self)
+        self.kernel.dmesg(
+            f"{MODULE_NAME}: loaded (index={self.index.name}, "
+            f"enforce={'on' if self.enforce else 'audit-only'})"
+        )
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Swap-out path (§3.2: guard implementations are swappable)."""
+        if not self._installed:
+            return
+        self.kernel.retire_symbols(MODULE_NAME)
+        self.kernel.devices.unregister(DEVICE_PATH)
+        self.kernel.dmesg(f"{MODULE_NAME}: unloaded")
+        self._installed = False
+
+    # -- the guard (hot path) -------------------------------------------------
+
+    def _guard(self, ctx, addr: int, size: int, flags: int,
+               module_name: str = "?") -> int:
+        """``carat_guard(addr, size, flags)``; returns entries scanned."""
+        index = (
+            self.module_indexes.get(module_name, self.index)
+            if self.module_indexes else self.index
+        )
+        allowed, scanned = index.check(addr, size, flags)
+        stats = self.stats
+        stats.checks += 1
+        stats.entries_scanned += scanned
+        if allowed:
+            stats.allowed += 1
+            return scanned
+        stats.denied += 1
+        self.kernel.dmesg(
+            f"{MODULE_NAME}: DENY module={module_name} "
+            f"{abi.flags_name(flags)} {addr:#018x} size={size}"
+        )
+        if self.enforce:
+            violation = GuardViolation(addr, size, flags, f"module {module_name}")
+            self.kernel.panicked = violation.reason
+            self.kernel.dmesg(f"Kernel panic - not syncing: {violation.reason}")
+            raise violation
+        return scanned
+
+    def _intrinsic_guard(self, ctx, name_ptr: int) -> int:
+        """Guard for privileged intrinsics (paper §5 extension)."""
+        name = self.kernel.address_space.read_cstring(int(name_ptr)).decode()
+        module_name = (
+            ctx.current_module.name
+            if ctx is not None and ctx.current_module is not None
+            else "?"
+        )
+        self.stats.intrinsic_checks += 1
+        if name in self.allowed_intrinsics:
+            return 1
+        self.stats.intrinsic_denied += 1
+        self.kernel.dmesg(
+            f"{MODULE_NAME}: DENY-INTRINSIC module={module_name} {name}"
+        )
+        if self.enforce:
+            violation = GuardViolation(
+                0, 0, abi.FLAG_INTRINSIC, f"intrinsic {name} by {module_name}"
+            )
+            self.kernel.panicked = violation.reason
+            self.kernel.dmesg(f"Kernel panic - not syncing: {violation.reason}")
+            raise violation
+        return 1
+
+    def _call_guard(self, ctx, name_ptr: int) -> int:
+        """Guard for module->kernel calls (paper §5 control-flow extension)."""
+        if self.allowed_calls is None:
+            return 1  # allow-all mode
+        name = self.kernel.address_space.read_cstring(int(name_ptr)).decode()
+        if name in self.allowed_calls:
+            return 1
+        module_name = (
+            ctx.current_module.name
+            if ctx is not None and ctx.current_module is not None
+            else "?"
+        )
+        self.kernel.dmesg(
+            f"{MODULE_NAME}: DENY-CALL module={module_name} -> {name}"
+        )
+        if self.enforce:
+            violation = GuardViolation(
+                0, 0, abi.FLAG_EXEC, f"call to {name} by {module_name}"
+            )
+            self.kernel.panicked = violation.reason
+            self.kernel.dmesg(f"Kernel panic - not syncing: {violation.reason}")
+            raise violation
+        return 1
+
+    # -- ioctl interface ------------------------------------------------------
+
+    def ioctl(self, cmd: int, arg: bytes, *, uid: int) -> bytes:
+        if uid != 0:
+            raise IoctlError(EPERM, "policy changes require root")
+        if cmd == CMD_ADD_REGION:
+            base, length, prot = self._unpack(_REGION_FMT, arg)
+            try:
+                idx = self.index.add(Region(base, length, prot))
+            except PolicyTableFull as e:
+                raise IoctlError(ENOSPC, str(e)) from e
+            except ValueError as e:
+                raise IoctlError(EINVAL, str(e)) from e
+            self.kernel.dmesg(
+                f"{MODULE_NAME}: region {idx} added "
+                f"{Region(base, length, prot).describe()}"
+            )
+            return struct.pack("<I", idx)
+        if cmd == CMD_DEL_REGION:
+            base, length = self._unpack("<QQ", arg)
+            ok = self.index.remove(base, length)
+            return struct.pack("<I", int(ok))
+        if cmd == CMD_CLEAR:
+            self.index.clear()
+            return b""
+        if cmd == CMD_SET_DEFAULT:
+            (flag,) = self._unpack("<I", arg)
+            self.index.default_allow = bool(flag)
+            return b""
+        if cmd == CMD_SET_ENFORCE:
+            (flag,) = self._unpack("<I", arg)
+            self.enforce = bool(flag)
+            return b""
+        if cmd == CMD_GET_STATS:
+            s = self.stats
+            return struct.pack(
+                _STATS_FMT, s.checks, s.allowed, s.denied,
+                s.entries_scanned, len(self.index),
+            )
+        if cmd == CMD_GET_REGION:
+            (idx,) = self._unpack("<I", arg)
+            regions = self.index.regions()
+            if idx >= len(regions):
+                raise IoctlError(EINVAL, f"no region {idx}")
+            r = regions[idx]
+            return struct.pack(_REGION_FMT, r.base, r.length, r.prot)
+        if cmd == CMD_COUNT:
+            return struct.pack("<I", len(self.index))
+        if cmd == CMD_ALLOW_INTRINSIC:
+            self.allowed_intrinsics.add(self._decode_name(arg))
+            return b""
+        if cmd == CMD_DENY_INTRINSIC:
+            self.allowed_intrinsics.discard(self._decode_name(arg))
+            return b""
+        if cmd == CMD_CALL_POLICY:
+            (flag,) = self._unpack("<I", arg)
+            self.allowed_calls = set() if flag else None
+            return b""
+        if cmd == CMD_ALLOW_CALL:
+            if self.allowed_calls is None:
+                self.allowed_calls = set()
+            self.allowed_calls.add(self._decode_name(arg))
+            return b""
+        if cmd == CMD_DENY_CALL:
+            if self.allowed_calls is not None:
+                self.allowed_calls.discard(self._decode_name(arg))
+            return b""
+        if cmd == CMD_ADD_REGION_FOR:
+            want = _NAME_LEN + struct.calcsize(_REGION_FMT)
+            if len(arg) != want:
+                raise IoctlError(EINVAL, f"expected {want}-byte payload")
+            name = self._decode_name(arg[:_NAME_LEN])
+            base, length, prot = struct.unpack(_REGION_FMT, arg[_NAME_LEN:])
+            index = self.module_indexes.get(name)
+            if index is None:
+                index = RegionTable(default_allow=False)
+                self.module_indexes[name] = index
+            try:
+                idx = index.add(Region(base, length, prot))
+            except PolicyTableFull as e:
+                raise IoctlError(ENOSPC, str(e)) from e
+            except ValueError as e:
+                raise IoctlError(EINVAL, str(e)) from e
+            return struct.pack("<I", idx)
+        if cmd == CMD_CLEAR_FOR:
+            self.module_indexes.pop(self._decode_name(arg), None)
+            return b""
+        raise IoctlError(ENOTTY, f"unknown ioctl {cmd:#x}")
+
+    @staticmethod
+    def _decode_name(arg: bytes) -> str:
+        """Copied-in name payloads come from user space: validate them."""
+        try:
+            return arg.rstrip(b"\x00").decode("utf-8")
+        except UnicodeDecodeError as e:
+            raise IoctlError(EINVAL, f"bad name payload: {e}") from e
+
+    @staticmethod
+    def _unpack(fmt: str, arg: bytes):
+        want = struct.calcsize(fmt)
+        if len(arg) != want:
+            raise IoctlError(EINVAL, f"expected {want}-byte payload, got {len(arg)}")
+        return struct.unpack(fmt, arg)
+
+
+__all__ = [
+    "CMD_ADD_REGION",
+    "CMD_ALLOW_INTRINSIC",
+    "CMD_CLEAR",
+    "CMD_COUNT",
+    "CMD_DEL_REGION",
+    "CMD_DENY_INTRINSIC",
+    "CMD_GET_REGION",
+    "CMD_GET_STATS",
+    "CMD_SET_DEFAULT",
+    "CMD_SET_ENFORCE",
+    "CaratPolicyModule",
+    "DEVICE_PATH",
+    "MODULE_NAME",
+    "PolicyStats",
+]

@@ -1,0 +1,66 @@
+"""Memory regions and permission semantics.
+
+A policy is an ordered list of regions, each ``[base, base+length)`` with
+a protection bitmap (R/W; 0 = explicit deny).  A guard check for
+``(addr, size, flags)`` walks the regions in order; the first region that
+*fully covers* the access decides it: allowed iff every requested flag is
+granted.  If no region covers the access, the policy's default applies
+(default-allow or default-deny, paper §1: "using default allow or default
+deny policies").
+
+First-match-wins makes overlapped regions meaningful (e.g. a read-only
+hole inside a larger read-write allowance) — the property the paper notes
+fancier structures give up (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import abi
+
+
+@dataclass(frozen=True)
+class Region:
+    """One policy entry."""
+
+    base: int
+    length: int
+    prot: int  # bitmap of abi.FLAG_* permissions granted; 0 denies
+
+    def __post_init__(self):
+        if self.base < 0 or self.length <= 0:
+            raise ValueError("region must have non-negative base, positive length")
+        if self.base + self.length > 1 << 64:
+            raise ValueError("region exceeds the 64-bit address space")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.length
+
+    def covers(self, addr: int, size: int) -> bool:
+        """True if [addr, addr+size) lies entirely inside this region."""
+        return self.base <= addr and addr + size <= self.end
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def permits(self, flags: int) -> bool:
+        """True if every requested access flag is granted."""
+        return (self.prot & flags) == flags
+
+    def describe(self) -> str:
+        return (
+            f"[{self.base:#018x}, {self.end:#018x}) "
+            f"{abi.flags_name(self.prot)} ({self.length} bytes)"
+        )
+
+
+#: Decision returned by a policy index: (allowed, entries_scanned).
+Decision = tuple[bool, int]
+
+
+__all__ = ["Decision", "Region"]

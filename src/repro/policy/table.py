@@ -1,0 +1,94 @@
+"""The paper's policy structure: a flat table of at most 64 regions.
+
+§3.1: "We use a table describing a maximum of 64 memory regions and thus
+a permissions check has O(n) time complexity.  A table was chosen in
+order to minimize pointer chasing, lending speedup over other
+implementations like the Linux kernel's red-black tree ... Each entry
+stores a region's lower bound, length, and protection flags.  When the
+guard function is invoked, the policy module then simply walks the region
+table and checks if the access should be permitted."
+
+The check returns how many entries it scanned so the VM's timing model
+can charge the machine-dependent per-entry cost (this is the quantity
+Figure 5 varies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .region import Decision, Region
+
+MAX_REGIONS = 64
+
+
+class PolicyTableFull(ValueError):
+    """More than :data:`MAX_REGIONS` regions requested."""
+
+
+class RegionTable:
+    """Linear-scan region table; first fully-covering region wins."""
+
+    name = "linear-table"
+    supports_overlap = True
+
+    def __init__(self, default_allow: bool = False,
+                 max_regions: int = MAX_REGIONS):
+        self.default_allow = default_allow
+        self.max_regions = max_regions
+        self._regions: list[Region] = []
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, region: Region) -> int:
+        """Append a region; returns its index."""
+        if len(self._regions) >= self.max_regions:
+            raise PolicyTableFull(
+                f"policy table is limited to {self.max_regions} regions"
+            )
+        self._regions.append(region)
+        return len(self._regions) - 1
+
+    def remove(self, base: int, length: int) -> bool:
+        """Remove the first region exactly matching (base, length)."""
+        for i, r in enumerate(self._regions):
+            if r.base == base and r.length == length:
+                del self._regions[i]
+                return True
+        return False
+
+    def clear(self) -> None:
+        self._regions.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    def check(self, addr: int, size: int, flags: int) -> Decision:
+        """The guard-path permission check.  Returns (allowed, scanned)."""
+        regions = self._regions
+        for i, r in enumerate(regions):
+            if r.base <= addr and addr + size <= r.base + r.length:
+                return (r.prot & flags) == flags, i + 1
+        return self.default_allow, len(regions)
+
+    def find(self, addr: int, size: int) -> Optional[Region]:
+        for r in self._regions:
+            if r.covers(addr, size):
+                return r
+        return None
+
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def describe(self) -> str:
+        lines = [
+            f"policy: {len(self._regions)} region(s), "
+            f"default {'ALLOW' if self.default_allow else 'DENY'}"
+        ]
+        lines += [f"  {i:2d}: {r.describe()}" for i, r in enumerate(self._regions)]
+        return "\n".join(lines)
+
+
+__all__ = ["MAX_REGIONS", "PolicyTableFull", "RegionTable"]

@@ -1,0 +1,129 @@
+"""HMAC-based module signing over the canonical IR serialization."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from .. import abi
+from ..ir import Module, print_module
+
+
+class SignatureError(ValueError):
+    """Signature missing, malformed, or failing verification."""
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """A shared secret provisioned to both the build system and the kernel."""
+
+    key_id: str
+    secret: bytes
+
+    @classmethod
+    def generate(cls, key_id: str = "carat-kop-build") -> "SigningKey":
+        # Deterministic derivation keeps test runs reproducible; a real
+        # deployment would use a random key from the vendor's HSM.
+        secret = hashlib.sha256(f"carat-kop::{key_id}".encode()).digest()
+        return cls(key_id, secret)
+
+
+@dataclass(frozen=True)
+class ModuleSignature:
+    """What the compiler asserts about a module, bound by an HMAC tag.
+
+    ``guarded`` and ``has_inline_asm`` are the §2 attestations; the digest
+    covers the exact IR text, so any post-signing tamper (including guard
+    stripping) is detected at insmod.
+    """
+
+    module_name: str
+    digest: str
+    tag: str
+    key_id: str
+    compiler: str
+    guarded: bool
+    guard_count: int
+    has_inline_asm: bool
+
+    def payload(self) -> bytes:
+        return "|".join(
+            [
+                self.module_name,
+                self.digest,
+                self.compiler,
+                f"guarded={int(self.guarded)}",
+                f"guards={self.guard_count}",
+                f"asm={int(self.has_inline_asm)}",
+            ]
+        ).encode()
+
+
+def canonical_bytes(module: Module) -> bytes:
+    """The exact byte sequence a signature covers."""
+    return print_module(module).encode()
+
+
+def sign_module(module: Module, key: SigningKey) -> ModuleSignature:
+    """Sign a compiled module, embedding the attestation metadata.
+
+    Requires that the attestation pass ran (the metadata must exist);
+    the compiler drives this ordering in :mod:`repro.core.pipeline`.
+    """
+    if abi.META_HAS_ASM not in module.metadata:
+        raise SignatureError(
+            "module lacks attestation metadata; run the attestation pass first"
+        )
+    digest = hashlib.sha256(canonical_bytes(module)).hexdigest()
+    sig = ModuleSignature(
+        module_name=module.name,
+        digest=digest,
+        tag="",
+        key_id=key.key_id,
+        compiler=str(module.metadata.get(abi.META_COMPILER, "unknown")),
+        guarded=bool(module.metadata.get(abi.META_GUARDED, False)),
+        guard_count=int(module.metadata.get(abi.META_GUARD_COUNT, 0)),  # type: ignore[arg-type]
+        has_inline_asm=bool(module.metadata.get(abi.META_HAS_ASM, False)),
+    )
+    tag = hmac.new(key.secret, sig.payload(), hashlib.sha256).hexdigest()
+    return ModuleSignature(**{**sig.__dict__, "tag": tag})
+
+
+def verify_signature(
+    module: Module, signature: ModuleSignature, key: SigningKey
+) -> None:
+    """Kernel-side validation; raises :class:`SignatureError` on any mismatch."""
+    if signature.key_id != key.key_id:
+        raise SignatureError(
+            f"module {module.name}: signed with unknown key {signature.key_id!r}"
+        )
+    digest = hashlib.sha256(canonical_bytes(module)).hexdigest()
+    if digest != signature.digest:
+        raise SignatureError(
+            f"module {module.name}: IR digest mismatch (module was modified "
+            "after signing)"
+        )
+    expected = hmac.new(key.secret, signature.payload(), hashlib.sha256).hexdigest()
+    if not hmac.compare_digest(expected, signature.tag):
+        raise SignatureError(f"module {module.name}: bad signature tag")
+    # Cross-check the attestation against the (digest-covered) metadata, so
+    # a signature from one module cannot be replayed onto another.
+    if bool(module.metadata.get(abi.META_GUARDED, False)) != signature.guarded:
+        raise SignatureError(
+            f"module {module.name}: guard attestation mismatch"
+        )
+    if bool(module.metadata.get(abi.META_HAS_ASM, False)) != signature.has_inline_asm:
+        raise SignatureError(
+            f"module {module.name}: inline-asm attestation mismatch"
+        )
+
+
+__all__ = [
+    "ModuleSignature",
+    "SignatureError",
+    "SigningKey",
+    "canonical_bytes",
+    "sign_module",
+    "verify_signature",
+]

@@ -1,0 +1,20 @@
+"""VM: the IR interpreter and testbed machine cost models."""
+
+from .interp import GuardViolation, Interpreter, InterpreterError
+from .machine import MACHINES, MachineModel, get_machine, r350, r415
+from .timing import CycleCounter
+from .trace import FunctionProfile, Profiler
+
+__all__ = [
+    "CycleCounter",
+    "FunctionProfile",
+    "Profiler",
+    "GuardViolation",
+    "Interpreter",
+    "InterpreterError",
+    "MACHINES",
+    "MachineModel",
+    "get_machine",
+    "r350",
+    "r415",
+]

@@ -1,0 +1,114 @@
+"""Execution profiling: where do a module's cycles and guards go?
+
+``Profiler`` attaches to an interpreter and aggregates, per function:
+executed instructions, guard checks, memory operations, and (when a
+machine model is active) visible cycles.  The guard *address histogram*
+feeds the policy miner's page-granularity view and answers the §4.2
+performance questions ("which accesses dominate?") without re-running
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..kernel import layout
+
+
+@dataclass
+class FunctionProfile:
+    name: str
+    calls: int = 0
+    instructions: int = 0
+    guards: int = 0
+    loads: int = 0
+    stores: int = 0
+    cycles: float = 0.0
+
+
+class Profiler:
+    """Aggregates per-function and per-page execution statistics."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionProfile] = {}
+        #: page number -> guard checks that targeted it
+        self.guard_pages: dict[int, int] = {}
+        self._stack: list[str] = []
+
+    # -- interpreter hook interface ------------------------------------------
+
+    def enter_function(self, name: str) -> None:
+        self._stack.append(name)
+        self._profile(name).calls += 1
+
+    def exit_function(self, name: str) -> None:
+        if self._stack and self._stack[-1] == name:
+            self._stack.pop()
+
+    def on_instruction(self, opcode: str, cycles: float) -> None:
+        if not self._stack:
+            return
+        p = self._profile(self._stack[-1])
+        p.instructions += 1
+        p.cycles += cycles
+        if opcode == "load":
+            p.loads += 1
+        elif opcode == "store":
+            p.stores += 1
+
+    def on_guard(self, addr: int, size: int, flags: int, cycles: float) -> None:
+        if self._stack:
+            p = self._profile(self._stack[-1])
+            p.guards += 1
+            p.cycles += cycles
+        page = addr >> layout.PAGE_SHIFT
+        self.guard_pages[page] = self.guard_pages.get(page, 0) + 1
+
+    def _profile(self, name: str) -> FunctionProfile:
+        p = self.functions.get(name)
+        if p is None:
+            p = FunctionProfile(name)
+            self.functions[name] = p
+        return p
+
+    # -- reporting ----------------------------------------------------------------
+
+    def hottest(self, by: str = "instructions", top: int = 10) -> list[FunctionProfile]:
+        return sorted(
+            self.functions.values(), key=lambda p: getattr(p, by), reverse=True
+        )[:top]
+
+    def hottest_pages(self, top: int = 10) -> list[tuple[int, int]]:
+        """(page number, guard count) pairs, most-guarded first."""
+        return sorted(
+            self.guard_pages.items(), key=lambda kv: kv[1], reverse=True
+        )[:top]
+
+    def total_guards(self) -> int:
+        return sum(p.guards for p in self.functions.values())
+
+    def report(self, top: int = 10) -> str:
+        lines = [
+            f"{'function':<28}{'calls':>8}{'instrs':>10}{'guards':>8}"
+            f"{'loads':>7}{'stores':>7}{'cycles':>12}"
+        ]
+        for p in self.hottest(top=top):
+            lines.append(
+                f"{p.name:<28}{p.calls:>8}{p.instructions:>10}{p.guards:>8}"
+                f"{p.loads:>7}{p.stores:>7}{p.cycles:>12.0f}"
+            )
+        if self.guard_pages:
+            lines.append("")
+            lines.append("guard-hot pages:")
+            for page, count in self.hottest_pages(5):
+                lines.append(
+                    f"  {page << layout.PAGE_SHIFT:#018x}  {count:>8} checks"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.functions.clear()
+        self.guard_pages.clear()
+        self._stack.clear()
+
+
+__all__ = ["FunctionProfile", "Profiler"]

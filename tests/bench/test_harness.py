@@ -1,0 +1,141 @@
+"""Harness tests: calibration, trial generation, figure shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    WorkloadConfig,
+    calibrate,
+    check_figure,
+    latency_samples,
+    render_figure,
+    run_fig4,
+    run_fig6,
+    throughput_samples,
+)
+
+
+class TestCalibration:
+    def test_calibration_measures_real_execution(self):
+        cfg = WorkloadConfig(machine="r350", protect=True,
+                             calibration_packets=60, warmup_packets=16)
+        cal = calibrate(cfg)
+        assert cal.cycles_per_packet > 10_000  # user + syscall + driver
+        assert cal.sendmsg_cycles > 200
+        assert cal.guards_per_packet > 5
+        assert cal.entries_per_guard >= 1.0
+        assert cal.guard_count_static > 40
+
+    def test_baseline_has_no_guards(self):
+        cfg = WorkloadConfig(machine="r350", protect=False,
+                             calibration_packets=40, warmup_packets=8)
+        cal = calibrate(cfg)
+        assert cal.guards_per_packet == 0
+
+    def test_carat_costs_more_than_baseline(self):
+        costs = {}
+        for protect in (False, True):
+            cfg = WorkloadConfig(machine="r350", protect=protect,
+                                 calibration_packets=60, warmup_packets=16)
+            costs[protect] = calibrate(cfg).cycles_per_packet
+        assert costs[True] > costs[False]
+        # ...but only barely (the paper's whole point).
+        assert (costs[True] - costs[False]) / costs[False] < 0.005
+
+    def test_region_count_raises_entries_scanned(self):
+        scans = {}
+        for n in (2, 64):
+            cfg = WorkloadConfig(machine="r350", regions=n,
+                                 calibration_packets=40, warmup_packets=8)
+            scans[n] = calibrate(cfg).entries_per_guard
+        assert scans[64] > scans[2] * 10
+
+
+class TestTrialGeneration:
+    def _cfg(self, **kw):
+        base = dict(machine="r350", trials=17, packets_per_trial=100_000,
+                    calibration_packets=40, warmup_packets=8, seed=7)
+        base.update(kw)
+        return WorkloadConfig(**base)
+
+    def test_sample_count_and_band(self):
+        samples = throughput_samples(self._cfg())
+        assert len(samples) == 17
+        assert np.all(samples > 80_000) and np.all(samples < 140_000)
+
+    def test_common_random_numbers_pair_techniques(self):
+        base = throughput_samples(self._cfg(protect=False))
+        carat = throughput_samples(self._cfg(protect=True))
+        # Same noise stream: carat is slower in EVERY paired trial.
+        assert np.all(base >= carat)
+        # And by a hair, not a cliff.
+        assert np.median((base - carat) / base) < 0.002
+
+    def test_seed_changes_noise(self):
+        a = throughput_samples(self._cfg(seed=1))
+        b = throughput_samples(self._cfg(seed=2))
+        assert not np.allclose(a, b)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = throughput_samples(self._cfg())
+        b = throughput_samples(self._cfg())
+        assert np.allclose(a, b)
+
+    def test_burst_model_only_affects_carat(self):
+        base_plain = throughput_samples(self._cfg(protect=False, size=64))
+        base_burst = throughput_samples(
+            self._cfg(protect=False, size=64, burst_model=True)
+        )
+        assert np.allclose(base_plain, base_burst)
+        carat_plain = throughput_samples(self._cfg(protect=True, size=64))
+        carat_burst = throughput_samples(
+            self._cfg(protect=True, size=64, burst_model=True)
+        )
+        assert carat_burst.mean() < carat_plain.mean()
+
+    def test_interp_fidelity_agrees_with_calibrated(self):
+        """The two methodologies must agree on mean throughput."""
+        interp_cfg = self._cfg(fidelity="interp", trials=3,
+                               packets_per_trial=120)
+        interp = throughput_samples(interp_cfg)
+        cal_cfg = self._cfg(trials=9)
+        calibrated = throughput_samples(cal_cfg)
+        assert interp.mean() == pytest.approx(calibrated.mean(), rel=0.08)
+
+    def test_latency_samples_shape(self):
+        lat = latency_samples(
+            self._cfg(), packets=3000, outlier_probability=0.01
+        )
+        assert len(lat) == 3000
+        med = np.median(lat)
+        assert 400 < med < 1200  # the Figure 7 x-range
+        assert lat.max() > 1e6  # deschedule outliers present
+
+
+class TestFigureCheck:
+    def test_fig4_small_run_passes(self):
+        result = run_fig4(trials=15)
+        ok, detail = check_figure(result)
+        assert ok, detail
+
+    def test_render_produces_report(self):
+        result = run_fig4(trials=9)
+        text = render_figure(result)
+        assert "fig4" in text and "median" in text and "PASS" in text
+
+    def test_fig6_shape(self):
+        result = run_fig6(trials=15)
+        slow = {int(k): float(v[0]) for k, v in result.series.items()}
+        assert slow[64] > slow[512]
+        assert slow[1500] < 1.01
+
+    def test_check_rejects_wrong_shape(self):
+        from repro.bench.harness import FigureResult
+
+        bogus = FigureResult(
+            "fig4", "x",
+            {"baseline": np.full(9, 100_000.0),
+             "carat": np.full(9, 90_000.0)},  # 10% slowdown: not the paper
+        )
+        ok, _ = check_figure(bogus)
+        assert not ok

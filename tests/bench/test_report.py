@@ -1,0 +1,120 @@
+"""Report/check_figure tests including the negative paths."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import FigureResult
+from repro.bench.report import (
+    PAPER_CLAIMS,
+    check_figure,
+    experiments_md_rows,
+    render_figure,
+)
+
+
+def _throughput(fid, base_pps, carat_pps, n=9):
+    return FigureResult(
+        fid, "t",
+        {"baseline": np.full(n, float(base_pps)),
+         "carat": np.full(n, float(carat_pps))},
+    )
+
+
+class TestCheckFigure:
+    def test_fig3_passes_within_limit(self):
+        ok, _ = check_figure(_throughput("fig3", 120_000, 119_400))
+        assert ok
+
+    def test_fig3_fails_over_limit(self):
+        ok, _ = check_figure(_throughput("fig3", 120_000, 118_000))
+        assert not ok
+
+    def test_fig4_tighter_limit_than_fig3(self):
+        borderline = _throughput("fig4", 120_000, 119_600)  # 0.33%
+        assert not check_figure(borderline)[0]
+        assert check_figure(_throughput("fig4", 120_000, 119_940))[0]
+
+    def test_carat_faster_than_baseline_fails(self):
+        # A reproduction where guards *speed things up* is wrong too.
+        ok, _ = check_figure(_throughput("fig4", 120_000, 121_000))
+        assert not ok
+
+    def test_fig5_ordering_violation(self):
+        r = FigureResult(
+            "fig5", "t",
+            {
+                "baseline": np.full(5, 100_000.0),
+                "carat": np.full(5, 99_990.0),
+                "carat16": np.full(5, 99_995.0),  # out of order
+                "carat64": np.full(5, 99_900.0),
+            },
+        )
+        ok, detail = check_figure(r)
+        assert not ok and "VIOLATED" in detail
+
+    def test_fig5_excess_overhead(self):
+        r = FigureResult(
+            "fig5", "t",
+            {
+                "baseline": np.full(5, 100_000.0),
+                "carat": np.full(5, 99_000.0),
+                "carat16": np.full(5, 98_000.0),
+                "carat64": np.full(5, 95_000.0),  # 5%: too slow
+            },
+        )
+        assert not check_figure(r)[0]
+
+    def test_fig6_shapes(self):
+        good = FigureResult(
+            "fig6", "t",
+            {str(s): np.asarray([v]) for s, v in
+             [(64, 1.024), (128, 1.01), (256, 1.002), (512, 1.001),
+              (1024, 1.001), (1500, 1.001)]},
+        )
+        assert check_figure(good)[0]
+        bad_peak = FigureResult(
+            "fig6", "t",
+            {str(s): np.asarray([v]) for s, v in
+             [(64, 1.08), (128, 1.01), (256, 1.0), (512, 1.0),
+              (1024, 1.0), (1500, 1.0)]},
+        )
+        assert not check_figure(bad_peak)[0]
+        wrong_end = FigureResult(
+            "fig6", "t",
+            {str(s): np.asarray([v]) for s, v in
+             [(64, 1.02), (128, 1.01), (256, 1.0), (512, 1.0),
+              (1024, 1.0), (1500, 1.02)]},
+        )
+        assert not check_figure(wrong_end)[0]
+
+    def test_fig7_median_gap(self):
+        good = FigureResult(
+            "fig7", "t",
+            {"Base": np.full(100, 690.0), "Carat": np.full(100, 699.0)},
+        )
+        assert check_figure(good)[0]
+        bad = FigureResult(
+            "fig7", "t",
+            {"Base": np.full(100, 690.0), "Carat": np.full(100, 760.0)},
+        )
+        assert not check_figure(bad)[0]
+
+    def test_unknown_figure_id(self):
+        with pytest.raises(ValueError):
+            check_figure(FigureResult("fig9", "t", {}))
+
+
+class TestRendering:
+    def test_every_known_figure_has_a_claim(self):
+        assert set(PAPER_CLAIMS) == {"fig3", "fig4", "fig5", "fig6", "fig7"}
+
+    def test_render_marks_failures(self):
+        bad = _throughput("fig4", 120_000, 110_000)
+        text = render_figure(bad)
+        assert "FAIL" in text
+
+    def test_markdown_rows(self):
+        results = {"fig4": _throughput("fig4", 120_000, 119_950)}
+        md = experiments_md_rows(results)
+        assert md.startswith("| figure |")
+        assert "| fig4 |" in md and "PASS" in md

@@ -1,0 +1,72 @@
+"""Statistics helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stats import (
+    ascii_cdf,
+    ascii_histogram,
+    cdf_points,
+    histogram,
+    median,
+    percentile,
+    relative_median_change,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_percentile_median(self):
+        xs = [1, 2, 3, 4, 5]
+        assert median(xs) == 3
+        assert percentile(xs, 0) == 1
+        assert percentile(xs, 100) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_cdf_points_monotone(self):
+        pts = cdf_points([3, 1, 2])
+        xs = [x for x, _ in pts]
+        ps = [p for _, p in pts]
+        assert xs == sorted(xs)
+        assert ps == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_cdf_points_empty(self):
+        assert cdf_points([]) == []
+
+    def test_histogram_bins(self):
+        edges, counts = histogram([1, 1, 2, 9], bins=4, lo=0, hi=10)
+        assert len(edges) == 5
+        assert sum(counts) == 4
+
+    def test_histogram_range_filter(self):
+        _, counts = histogram([1, 2, 1000], bins=2, lo=0, hi=10)
+        assert sum(counts) == 2  # outlier excluded
+
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3 and s["mean"] == 2.0 and s["median"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_relative_median_change_direction(self):
+        baseline = [100.0] * 5
+        slower = [99.0] * 5
+        assert relative_median_change(baseline, slower) == pytest.approx(0.01)
+        assert relative_median_change(baseline, baseline) == 0.0
+
+
+class TestAsciiRendering:
+    def test_cdf_renders_all_series(self):
+        out = ascii_cdf({"a": [1, 2, 3], "b": [2, 3, 4]})
+        assert "100%" in out and "a" in out and "b" in out
+
+    def test_cdf_degenerate_single_value(self):
+        out = ascii_cdf({"a": [5.0, 5.0]})
+        assert "100%" in out
+
+    def test_histogram_renders(self):
+        rng = np.random.default_rng(0)
+        out = ascii_histogram({"x": rng.normal(100, 5, 200)})
+        assert "█" in out

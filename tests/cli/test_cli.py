@@ -1,0 +1,119 @@
+"""CLI entry-point tests (caratcc, policy-manager, pktblast, bench)."""
+
+import pytest
+
+from repro.cli import bench_main, caratcc_main, pktblast_main, policy_manager_main
+
+DRIVER_SNIPPET = """
+extern void *kmalloc(long size, int flags);
+long state;
+__export long poke(long v) { state = v; return state; }
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    p = tmp_path / "mod.c"
+    p.write_text(DRIVER_SNIPPET)
+    return p
+
+
+class TestCaratcc:
+    def test_compile_to_stdout(self, source_file, capsys):
+        rc = caratcc_main([str(source_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert 'module "mod"' in out
+        assert "call.guard" in out
+        assert "carat_guard" in out
+
+    def test_no_protect(self, source_file, capsys):
+        caratcc_main([str(source_file), "--no-protect"])
+        out = capsys.readouterr().out
+        assert "call.guard" not in out
+
+    def test_output_file_roundtrips(self, source_file, tmp_path):
+        out_path = tmp_path / "mod.ir"
+        caratcc_main([str(source_file), "-o", str(out_path)])
+        from repro.ir import parse_module, verify_module
+
+        m = parse_module(out_path.read_text())
+        verify_module(m)
+        assert m.metadata["carat.guarded"] is True
+
+    def test_stats_flag(self, source_file, capsys):
+        caratcc_main([str(source_file), "--stats"])
+        err = capsys.readouterr().err
+        assert "guards:" in err and "source lines:" in err
+
+    def test_custom_name(self, source_file, capsys):
+        caratcc_main([str(source_file), "--name", "fancy"])
+        assert 'module "fancy"' in capsys.readouterr().out
+
+    def test_guard_intrinsics_flag(self, tmp_path, capsys):
+        p = tmp_path / "msr.c"
+        p.write_text(
+            "extern void cli(void);\n__export void f(void) { cli(); }\n"
+        )
+        caratcc_main([str(p), "--guard-intrinsics"])
+        assert "carat_intrinsic_guard" in capsys.readouterr().out
+
+
+class TestPolicyManagerCLI:
+    def test_lists_policy(self, capsys):
+        rc = policy_manager_main(["--machine", "r350"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "/dev/carat" in out
+        assert "0xffff800000000000" in out
+
+    def test_stats_flag(self, capsys):
+        policy_manager_main(["--show-stats", "--regions", "4"])
+        out = capsys.readouterr().out
+        assert "checks" in out
+
+
+class TestPktblast:
+    def test_blast_reports_throughput(self, capsys):
+        rc = pktblast_main(["--count", "100", "--size", "128"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packets" in out and "pps" in out
+        assert "carat" in out
+
+    def test_baseline_flag(self, capsys):
+        pktblast_main(["--count", "50", "--baseline"])
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "0 denied" in out
+
+    def test_latency_flag(self, capsys):
+        pktblast_main(["--count", "50", "--latency"])
+        assert "median" in capsys.readouterr().out
+
+
+class TestBenchCLI:
+    def test_single_figure(self, capsys):
+        rc = bench_main(["fig4", "--trials", "9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "reproduction:" in out
+
+    def test_unknown_figure(self, capsys):
+        assert bench_main(["fig99"]) == 2
+
+    def test_markdown_summary(self, capsys):
+        rc = bench_main(["fig4", "--trials", "9", "--markdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| figure | paper claim |" in out
+        assert "| fig4 |" in out
+
+
+class TestPktblastProfile:
+    def test_profile_flag(self, capsys):
+        rc = pktblast_main(["--count", "30", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "e1000e_xmit_frame" in out
+        assert "guard-hot pages:" in out

@@ -1,0 +1,129 @@
+"""Module container (.kop) and loader-rollback tests."""
+
+import json
+
+import pytest
+
+from repro.core.container import ContainerError, load_module, save_module
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.kernel import Kernel, LoadError
+from repro.policy import CaratPolicyModule, PolicyManager
+from repro.signing import SignatureError, verify_signature
+
+SRC = """
+long state = 5;
+__export long get(void) { return state; }
+__export long set(long v) { state = v; return state; }
+"""
+
+
+@pytest.fixture()
+def kop_file(tmp_path, key):
+    compiled = compile_module(SRC, CompileOptions(module_name="boxed", key=key))
+    return save_module(compiled, tmp_path / "boxed.kop")
+
+
+class TestContainer:
+    def test_roundtrip_preserves_ir_and_signature(self, kop_file, key):
+        loaded = load_module(kop_file)
+        assert loaded.name == "boxed"
+        assert loaded.signature is not None
+        verify_signature(loaded.ir, loaded.signature, key)
+        assert loaded.is_protected
+        assert loaded.guard_count > 0
+
+    def test_loaded_container_runs(self, kop_file, key):
+        kernel = Kernel(signing_key=key, require_protected_modules=True)
+        CaratPolicyModule(kernel).install()
+        PolicyManager(kernel).install_two_region_policy()
+        loaded = kernel.insmod(load_module(kop_file))
+        assert kernel.run_function(loaded, "get", []) == 5
+        assert kernel.run_function(loaded, "set", [9]) == 9
+
+    def test_tampered_ir_rejected_at_insmod(self, kop_file, key):
+        doc = json.loads(kop_file.read_text())
+        doc["ir"] = doc["ir"].replace("i64 5", "i64 6")  # flip the init
+        kop_file.write_text(json.dumps(doc))
+        tampered = load_module(kop_file)
+        kernel = Kernel(signing_key=key)
+        with pytest.raises(LoadError, match="digest mismatch"):
+            kernel.insmod(tampered)
+
+    def test_unsigned_container(self, tmp_path):
+        compiled = compile_module(SRC, CompileOptions(module_name="nosig"))
+        path = save_module(compiled, tmp_path / "nosig.kop")
+        assert load_module(path).signature is None
+
+    def test_wrong_format_rejected(self, tmp_path):
+        p = tmp_path / "x.kop"
+        p.write_text(json.dumps({"format": "elf", "version": 1}))
+        with pytest.raises(ContainerError, match="not a carat-kop"):
+            load_module(p)
+
+    def test_bad_version(self, tmp_path):
+        p = tmp_path / "x.kop"
+        p.write_text(json.dumps({"format": "carat-kop-module", "version": 99}))
+        with pytest.raises(ContainerError, match="version"):
+            load_module(p)
+
+    def test_not_json(self, tmp_path):
+        p = tmp_path / "x.kop"
+        p.write_text("\x7fELF...")
+        with pytest.raises(ContainerError, match="unreadable"):
+            load_module(p)
+
+    def test_missing_fields(self, tmp_path):
+        p = tmp_path / "x.kop"
+        p.write_text(json.dumps({"format": "carat-kop-module", "version": 1}))
+        with pytest.raises(ContainerError, match="missing field"):
+            load_module(p)
+
+    def test_caratcc_emits_container(self, tmp_path, capsys):
+        from repro.cli import caratcc_main
+
+        src = tmp_path / "m.c"
+        src.write_text(SRC)
+        out = tmp_path / "m.kop"
+        assert caratcc_main([str(src), "--kop", str(out)]) == 0
+        loaded = load_module(out)
+        assert loaded.signature is not None
+        assert loaded.is_protected
+
+
+class TestLoaderRollback:
+    def test_failed_link_leaves_no_mapping(self, kernel):
+        bad = compile_module(
+            "extern long missing_fn(void);\n"
+            "__export long f(void) { return missing_fn(); }",
+            CompileOptions(module_name="dangling", protect=False),
+        )
+        mappings_before = len(kernel.address_space.mappings())
+        pages_before = kernel.page_allocator.allocated_pages
+        with pytest.raises(LoadError, match="unresolved symbol"):
+            kernel.insmod(bad)
+        assert len(kernel.address_space.mappings()) == mappings_before
+        assert kernel.page_allocator.allocated_pages == pages_before
+        assert kernel.lsmod() == []
+
+    def test_failed_data_link_rolls_back(self, kernel):
+        bad = compile_module(
+            "extern long missing_global;\n"
+            "__export long f(void) { return missing_global; }",
+            CompileOptions(module_name="dangling2", protect=False),
+        )
+        mappings_before = len(kernel.address_space.mappings())
+        with pytest.raises(LoadError, match="unresolved data symbol"):
+            kernel.insmod(bad)
+        assert len(kernel.address_space.mappings()) == mappings_before
+
+    def test_retry_after_fix_succeeds(self, kernel):
+        bad = compile_module(
+            "extern long missing_fn(void);\n"
+            "__export long f(void) { return missing_fn(); }",
+            CompileOptions(module_name="fixme", protect=False),
+        )
+        with pytest.raises(LoadError):
+            kernel.insmod(bad)
+        kernel.export_native("missing_fn", lambda ctx: 77)
+        loaded = kernel.insmod(bad)
+        assert kernel.run_function(loaded, "f", []) == 77

@@ -1,0 +1,201 @@
+"""Device-model tests: register file, DMA engine, wire timing."""
+
+import struct
+
+import pytest
+
+from repro.e1000e import E1000EDevice, regs
+from repro.kernel import Kernel, layout
+from repro.net import PacketSink
+
+
+@pytest.fixture()
+def setup():
+    kernel = Kernel()
+    sink = PacketSink()
+    dev = E1000EDevice(kernel, sink)
+    return kernel, sink, dev
+
+
+def write_desc(kernel, ring_phys, idx, buf_phys, length, cmd):
+    raw = struct.pack("<QHBBBBH", buf_phys, length, 0, cmd, 0, 0, 0)
+    kernel.ram.write(ring_phys + idx * regs.TDESC_SIZE, raw)
+
+
+def ring_setup(kernel, dev, entries=8):
+    ring_phys = kernel.page_allocator.alloc_pages(1)
+    dev.mmio_write(regs.TDBAL, 4, ring_phys & 0xFFFFFFFF)
+    dev.mmio_write(regs.TDBAH, 4, ring_phys >> 32)
+    dev.mmio_write(regs.TDLEN, 4, entries * regs.TDESC_SIZE)
+    dev.mmio_write(regs.TCTL, 4, regs.TCTL_EN)
+    return ring_phys
+
+
+class TestRegisters:
+    def test_status_reports_link_up(self, setup):
+        _, _, dev = setup
+        assert dev.mmio_read(regs.STATUS, 4) & regs.STATUS_LU
+
+    def test_mac_via_ral_rah(self, setup):
+        _, _, dev = setup
+        ral = dev.mmio_read(regs.RAL0, 4)
+        rah = dev.mmio_read(regs.RAH0, 4)
+        mac = ral.to_bytes(4, "little") + (rah & 0xFFFF).to_bytes(2, "little")
+        assert mac == dev.mac
+        assert rah & regs.RAH_AV
+
+    def test_reset_clears_state(self, setup):
+        kernel, _, dev = setup
+        ring_setup(kernel, dev)
+        dev.mmio_write(regs.TDT, 4, 0)
+        dev.mmio_write(regs.CTRL, 4, regs.CTRL_RST)
+        assert dev.tdlen == 0 and dev.tctl == 0
+
+    def test_tdba_split_registers(self, setup):
+        _, _, dev = setup
+        dev.mmio_write(regs.TDBAL, 4, 0xDEAD0000)
+        dev.mmio_write(regs.TDBAH, 4, 0x1)
+        assert dev.tdba == 0x1_DEAD0000
+        assert dev.mmio_read(regs.TDBAL, 4) == 0xDEAD0000
+        assert dev.mmio_read(regs.TDBAH, 4) == 0x1
+
+    def test_bad_tdlen_ignored_like_hardware(self, setup):
+        kernel, _, dev = setup
+        dev.mmio_write(regs.TDLEN, 4, 17)  # not a descriptor multiple
+        assert dev.tdlen == 0
+        assert any("ignoring bad TDLEN" in l for l in kernel.dmesg_log)
+
+    def test_icr_read_to_clear(self, setup):
+        kernel, _, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        buf = kernel.page_allocator.alloc_pages(1)
+        kernel.ram.write(buf, b"\xAA" * 64)
+        write_desc(kernel, ring_phys, 0, buf, 64, regs.TDESC_CMD_EOP)
+        dev.mmio_write(regs.TDT, 4, 1)
+        assert dev.mmio_read(regs.ICR, 4) != 0
+        assert dev.mmio_read(regs.ICR, 4) == 0
+
+    def test_unknown_register_reads_zero(self, setup):
+        _, _, dev = setup
+        assert dev.mmio_read(0x1F00, 4) == 0
+
+    def test_registered_with_kernel_mmio(self, setup):
+        kernel, _, dev = setup
+        virt = kernel.ioremap(dev.phys_base, regs.BAR_SIZE)
+        assert kernel.address_space.read_int(virt + regs.STATUS, 4) & regs.STATUS_LU
+
+
+class TestDMA:
+    def test_transmit_delivers_payload_to_sink(self, setup):
+        kernel, sink, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        buf = kernel.page_allocator.alloc_pages(1)
+        kernel.ram.write(buf, b"PACKET-ONE-" + b"x" * 53)
+        write_desc(kernel, ring_phys, 0, buf, 64, regs.TDESC_CMD_EOP)
+        dev.mmio_write(regs.TDT, 4, 1)
+        assert sink.packets == 1
+        assert sink.recent[0][:11] == b"PACKET-ONE-"
+
+    def test_multiple_descriptors_in_one_kick(self, setup):
+        kernel, sink, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        buf = kernel.page_allocator.alloc_pages(1)
+        for i in range(3):
+            kernel.ram.write(buf + i * 128, bytes([i]) * 64)
+            write_desc(kernel, ring_phys, i, buf + i * 128, 64,
+                       regs.TDESC_CMD_EOP)
+        dev.mmio_write(regs.TDT, 4, 3)
+        assert sink.packets == 3
+        assert sink.recent[2][0] == 2
+
+    def test_dd_written_back(self, setup):
+        kernel, _, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        buf = kernel.page_allocator.alloc_pages(1)
+        write_desc(kernel, ring_phys, 0, buf, 64, regs.TDESC_CMD_RS)
+        dev.mmio_write(regs.TDT, 4, 1)
+        status = kernel.ram.read(ring_phys + 12, 1)[0]
+        assert status & regs.TDESC_STATUS_DD
+
+    def test_tdh_advances(self, setup):
+        kernel, _, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        buf = kernel.page_allocator.alloc_pages(1)
+        for i in range(2):
+            write_desc(kernel, ring_phys, i, buf, 64, 0)
+        dev.mmio_write(regs.TDT, 4, 2)
+        assert dev.mmio_read(regs.TDH, 4) == 2
+
+    def test_ring_wraparound(self, setup):
+        kernel, sink, dev = setup
+        entries = 4
+        ring_phys = ring_setup(kernel, dev, entries=entries)
+        buf = kernel.page_allocator.alloc_pages(1)
+        tdt = 0
+        for round_ in range(10):
+            write_desc(kernel, ring_phys, tdt, buf, 64, 0)
+            tdt = (tdt + 1) % entries
+            dev.mmio_write(regs.TDT, 4, tdt)
+        assert sink.packets == 10
+
+    def test_stats_counters(self, setup):
+        kernel, _, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        buf = kernel.page_allocator.alloc_pages(1)
+        write_desc(kernel, ring_phys, 0, buf, 100, 0)
+        write_desc(kernel, ring_phys, 1, buf, 200, 0)
+        dev.mmio_write(regs.TDT, 4, 2)
+        assert dev.mmio_read(regs.GPTC, 4) == 2
+        assert dev.mmio_read(regs.TOTL, 4) == 300
+
+    def test_tx_disabled_no_dma(self, setup):
+        kernel, sink, dev = setup
+        ring_phys = ring_setup(kernel, dev)
+        dev.mmio_write(regs.TCTL, 4, 0)  # disable
+        buf = kernel.page_allocator.alloc_pages(1)
+        write_desc(kernel, ring_phys, 0, buf, 64, 0)
+        dev.mmio_write(regs.TDT, 4, 1)
+        assert sink.packets == 0
+
+
+class TestWireTiming:
+    def test_completions_follow_the_clock(self):
+        kernel = Kernel()
+        now = [0.0]
+        dev = E1000EDevice(
+            kernel, PacketSink(), clock=lambda: now[0], freq_hz=1e9
+        )
+        ring_phys = kernel.page_allocator.alloc_pages(1)
+        dev.mmio_write(regs.TDBAL, 4, ring_phys & 0xFFFFFFFF)
+        dev.mmio_write(regs.TDLEN, 4, 8 * regs.TDESC_SIZE)
+        dev.mmio_write(regs.TCTL, 4, regs.TCTL_EN)
+        buf = kernel.page_allocator.alloc_pages(1)
+        write_desc(kernel, ring_phys, 0, buf, 1500, 0)
+        dev.mmio_write(regs.TDT, 4, 1)
+        # Immediately: on the wire, not yet complete.
+        assert dev.mmio_read(regs.TDH, 4) == 0
+        assert dev.stats()["in_flight"] == 1
+        # 1500B at 1 Gb/s ~= 12.2us ~= 12,200 cycles at 1 GHz.
+        now[0] = 20_000
+        assert dev.mmio_read(regs.TDH, 4) == 1
+        assert dev.stats()["in_flight"] == 0
+
+    def test_wire_serializes_back_to_back_frames(self):
+        kernel = Kernel()
+        now = [0.0]
+        dev = E1000EDevice(
+            kernel, PacketSink(), clock=lambda: now[0], freq_hz=1e9
+        )
+        ring_phys = kernel.page_allocator.alloc_pages(1)
+        dev.mmio_write(regs.TDBAL, 4, ring_phys & 0xFFFFFFFF)
+        dev.mmio_write(regs.TDLEN, 4, 8 * regs.TDESC_SIZE)
+        dev.mmio_write(regs.TCTL, 4, regs.TCTL_EN)
+        buf = kernel.page_allocator.alloc_pages(1)
+        for i in range(3):
+            write_desc(kernel, ring_phys, i, buf, 1500, 0)
+        dev.mmio_write(regs.TDT, 4, 3)
+        # After ~one frame time only the first completed.
+        now[0] = 12_500
+        assert dev.mmio_read(regs.TDH, 4) == 1
+        now[0] = 40_000
+        assert dev.mmio_read(regs.TDH, 4) == 3

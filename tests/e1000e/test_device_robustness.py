@@ -1,0 +1,105 @@
+"""Device robustness: a hostile/buggy driver cannot crash the 'hardware'.
+
+The device model's register window is reachable from module code via
+MMIO, so every write pattern must resolve to device-side behaviour
+(ignore, error counter, master abort) — never a Python exception, which
+would model a CPU fault that real hardware does not raise.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.e1000e import E1000EDevice, regs
+from repro.kernel import Kernel
+from repro.net import PacketSink, make_test_frame
+
+OFFSETS = [
+    0, regs.CTRL, regs.STATUS, regs.ICR, regs.IMS, regs.IMC, regs.RCTL,
+    regs.TCTL, regs.TDBAL, regs.TDBAH, regs.TDLEN, regs.TDH, regs.TDT,
+    regs.RDBAL, regs.RDBAH, regs.RDLEN, regs.RDH, regs.RDT, 0x7777,
+]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(OFFSETS),
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+        ),
+        max_size=25,
+    )
+)
+def test_arbitrary_register_programs_never_crash(writes):
+    kernel = Kernel()
+    dev = E1000EDevice(kernel, PacketSink())
+    for off, val in writes:
+        dev.mmio_write(off, 4, val)
+        dev.mmio_read(off, 4)
+    dev.receive(b"frame-under-fuzz" + b"\x00" * 48)
+    dev.stats()  # processing completions must also be safe
+
+
+class TestMasterAbort:
+    def test_bogus_ring_address_master_aborts(self):
+        """TDT kick with TDBA pointing past RAM: DMA error, TX disabled,
+        no exception at the doorbell store."""
+        kernel = Kernel()
+        dev = E1000EDevice(kernel, PacketSink())
+        dev.mmio_write(regs.TDBAL, 4, 0xFFFF0000)
+        dev.mmio_write(regs.TDBAH, 4, 0xFF)       # way past 64MB of RAM
+        dev.mmio_write(regs.TDLEN, 4, 8 * regs.TDESC_SIZE)
+        dev.mmio_write(regs.TCTL, 4, regs.TCTL_EN)
+        dev.mmio_write(regs.TDT, 4, 3)            # must not raise
+        assert dev.dma_errors == 1
+        assert not (dev.tctl & regs.TCTL_EN)      # engine stopped
+        assert any("master abort" in l for l in kernel.dmesg_log)
+
+    def test_bogus_rx_buffer_counts_mpc(self):
+        kernel = Kernel()
+        dev = E1000EDevice(kernel, PacketSink())
+        ring_phys = kernel.page_allocator.alloc_pages(1)
+        # Descriptor 0 points at an unmapped bus address.
+        kernel.ram.write(ring_phys, (1 << 50).to_bytes(8, "little"))
+        dev.mmio_write(regs.RDBAL, 4, ring_phys & 0xFFFFFFFF)
+        dev.mmio_write(regs.RDLEN, 4, 8 * regs.RDESC_SIZE)
+        dev.mmio_write(regs.RDT, 4, 7)
+        dev.mmio_write(regs.RCTL, 4, regs.RCTL_EN)
+        assert dev.receive(b"x" * 64) is False
+        assert dev.dma_errors == 1
+        assert dev.mpc == 1
+
+    def test_module_writing_garbage_tdba_cannot_panic_kernel(self):
+        """End to end: a protected module scribbles the ring base over
+        MMIO, then rings the doorbell.  The guard allows the MMIO window,
+        the device master-aborts — the kernel stays up."""
+        from repro.core.pipeline import CompileOptions, compile_module
+
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        saboteur = compile_module(
+            """
+            __export void sabotage(long mmio) {
+                unsigned int *tdbal = (unsigned int *)(mmio + 0x3800);
+                *tdbal = 0xFFFF0000;
+                unsigned int *tdbah = (unsigned int *)(mmio + 0x3804);
+                *tdbah = 0xFF;
+                unsigned int *tdt = (unsigned int *)(mmio + 0x3818);
+                *tdt = 5;
+            }
+            """,
+            CompileOptions(module_name="saboteur", key=system.signing_key),
+        )
+        loaded = system.kernel.insmod(saboteur)
+        mmio_virt = system.netdev.read_reg(0) or 0  # not the base; compute:
+        # The driver stored its ioremapped base in its adapter; fetch via
+        # the device's virtual mapping instead.
+        for m in system.kernel.address_space.mappings():
+            if m.name == "mmio:e1000e":
+                mmio_virt = m.base
+                break
+        system.kernel.run_function(loaded, "sabotage", [mmio_virt])
+        assert system.device.dma_errors >= 1
+        assert system.kernel.panicked is None  # machine survived
+        # The NIC is wedged (TX disabled) but diagnosable:
+        assert any("master abort" in l for l in system.kernel.dmesg_log)

@@ -1,0 +1,211 @@
+"""The claims ledger: every checkable sentence of the paper, in one file.
+
+Each test quotes the paper and asserts the reproduced system exhibits the
+claimed behaviour.  This is the reviewer's map from text to code.
+"""
+
+import pytest
+
+from repro.bench.harness import WorkloadConfig, calibrate
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.e1000e import DRIVER_SOURCE, driver_source_lines
+from repro.kernel import KernelPanic, LoadError
+
+
+class TestSection1:
+    def test_module_can_access_any_memory_without_carat(self):
+        """§1: 'A kernel module can generally access any part of memory,
+        including regions critical to the operating system.'"""
+        system = CaratKopSystem(SystemConfig(machine=None, protect=False))
+        kernel = system.kernel
+        critical = kernel.kmalloc_allocator.kmalloc(64)
+        kernel.address_space.write_bytes(critical, b"CRITICAL")
+        rogue = compile_module(
+            "__export void smash(long a) { *(long *)a = 0; }",
+            CompileOptions(module_name="rogue", protect=False),
+        )
+        loaded = kernel.insmod(rogue)
+        kernel.run_function(loaded, "smash", [critical])  # nothing stops it
+        assert kernel.address_space.read_bytes(critical, 8) != b"CRITICAL"
+
+    def test_limiting_addresses_without_revoking_privilege(self):
+        """§1: 'limit the addresses they may use without revoking their
+        kernel-level privileges' — a protected module still calls kernel
+        services and touches allowed memory."""
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        assert system.blast(size=128, count=10).errors == 0
+        assert system.guard_stats()["denied"] == 0
+
+
+class TestSection2:
+    def test_guards_are_callbacks_to_privately_exported_function(self):
+        """§2/§3.1: guards call a runtime function privately exported from
+        the kernel."""
+        system = CaratKopSystem(SystemConfig(machine=None))
+        sym = system.kernel.symbols.resolve("carat_guard")
+        assert sym.private is True
+        assert sym.owner == "carat_kop_policy"
+
+    def test_arbitrary_granularity(self):
+        """§2: 'protection is possible down to individual bytes.'"""
+        from repro import abi
+        from repro.policy import Region, RegionTable
+
+        t = RegionTable()
+        t.add(Region(0x1000, 1, abi.FLAG_WRITE))
+        assert t.check(0x1000, 1, abi.FLAG_WRITE)[0]
+        assert not t.check(0x1001, 1, abi.FLAG_WRITE)[0]
+
+    def test_signature_asserts_no_inline_assembly(self):
+        """§2: the signature 'is in effect an assertion ... that the code
+        it compiled does not include ... inline or separate assembly.'"""
+        from repro.signing import SigningKey
+
+        key = SigningKey.generate()
+        clean = compile_module(
+            "__export int f(void) { return 0; }",
+            CompileOptions(module_name="clean", key=key),
+        )
+        dirty = compile_module(
+            '__export int f(void) { __asm__("hlt"); return 0; }',
+            CompileOptions(module_name="dirty", key=key),
+        )
+        assert clean.signature.has_inline_asm is False
+        assert dirty.signature.has_inline_asm is True
+
+
+class TestSection3:
+    def test_single_symbol_interface(self):
+        """§3.1: the policy module 'provides a single symbol,
+        carat_guard' with signature (addr, size, flags)."""
+        from repro import abi
+        from repro.ir import I8PTR, I32, I64, VOID
+
+        ft = abi.guard_function_type()
+        assert ft.ret is VOID
+        assert ft.params == (I8PTR, I64, I32)
+
+    def test_64_region_table_is_the_default(self):
+        """§3.1: 'a table describing a maximum of 64 memory regions.'"""
+        from repro.policy import MAX_REGIONS, RegionTable
+
+        assert MAX_REGIONS == 64
+        system = CaratKopSystem(SystemConfig(machine=None))
+        assert isinstance(system.policy.index, RegionTable)
+
+    def test_forbidden_access_logs_and_panics(self):
+        """§3.1: 'we currently do not cleanly handle forbidden accesses,
+        and instead log that they occur and cause a kernel panic.'"""
+        system = CaratKopSystem(SystemConfig(machine=None))
+        rogue = compile_module(
+            "__export long f(long a) { return *(long *)a; }",
+            CompileOptions(module_name="rogue", key=system.signing_key),
+        )
+        loaded = system.kernel.insmod(rogue)
+        with pytest.raises(KernelPanic):
+            system.kernel.run_function(loaded, "f", [0x1000])
+        log = "\n".join(system.kernel.dmesg_log)
+        assert "DENY" in log and "Kernel panic" in log
+
+    def test_no_source_changes_and_swap_of_compiler(self):
+        """§3.2: 'Any module ... can be compiled as a protected module by
+        swapping the compiler'; §4.1: 'No code was modified.'"""
+        base = compile_module(
+            DRIVER_SOURCE, CompileOptions(module_name="e1000e", protect=False)
+        )
+        carat = compile_module(
+            DRIVER_SOURCE, CompileOptions(module_name="e1000e", protect=True)
+        )
+        assert base.source_lines == carat.source_lines
+        assert base.guard_count == 0 and carat.guard_count > 0
+
+    def test_guard_per_load_store_unoptimized(self):
+        """§3.3: 'every memory access results in a guard, even if it would
+        be redundant.'"""
+        from repro.ir.instructions import Call, Load, Store
+
+        m = compile_module(
+            "__export long f(long *p) { return *p + *p + *p; }",
+            CompileOptions(module_name="g"),
+        ).ir
+        loads = sum(
+            isinstance(i, (Load, Store))
+            for fn in m.defined_functions() for i in fn.instructions()
+        )
+        guards = sum(
+            isinstance(i, Call) and i.is_guard
+            for fn in m.defined_functions() for i in fn.instructions()
+        )
+        assert guards == loads == 3  # redundant guards kept
+
+
+class TestSection4:
+    def test_driver_scale(self):
+        """§4.1: the real driver is ~19k lines; ours is the equivalent
+        scale for the simulated device (hundreds of lines of mini-C,
+        exercising every access pattern the paper lists)."""
+        assert driver_source_lines() > 300
+
+    def test_dma_moves_bytes_unguarded(self):
+        """§4: 'the overwhelming amount of data transfer occurs due to the
+        DMA engine on the NIC, which is not checked.'"""
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        checks0 = system.guard_stats()["checks"]
+        system.netdev.xmit(b"\x00" * 1514)   # max frame
+        checks_big = system.guard_stats()["checks"] - checks0
+        checks1 = system.guard_stats()["checks"]
+        system.netdev.xmit(b"\x00" * 64)
+        checks_small = system.guard_stats()["checks"] - checks1
+        assert abs(checks_big - checks_small) <= 5  # size-independent
+
+    def test_same_guards_different_lookup_cost(self):
+        """§4.2 (Fig. 5): 'the exact same number of guards are being
+        executed.  The difference is in the cost of the policy lookup.'"""
+        per_packet = {}
+        scans = {}
+        for n in (2, 64):
+            cfg = WorkloadConfig(machine="r350", regions=n,
+                                 calibration_packets=40, warmup_packets=8)
+            cal = calibrate(cfg)
+            per_packet[n] = cal.guards_per_packet
+            scans[n] = cal.entries_per_guard
+        assert per_packet[2] == per_packet[64]
+        assert scans[64] > scans[2]
+
+    def test_overheads_small_and_machine_ordered(self):
+        """§4.2 headline: <0.8% on the old machine, <0.1% on the new."""
+        overhead = {}
+        for machine in ("r415", "r350"):
+            c = {}
+            for protect in (False, True):
+                cfg = WorkloadConfig(machine=machine, protect=protect,
+                                     calibration_packets=60, warmup_packets=8)
+                c[protect] = calibrate(cfg).cycles_per_packet
+            overhead[machine] = (c[True] - c[False]) / c[False]
+        assert 0 <= overhead["r415"] < 0.008
+        assert 0 <= overhead["r350"] < 0.001
+        assert overhead["r350"] < overhead["r415"]
+
+
+class TestSection5:
+    def test_incremental_restriction_without_topology_knowledge(self):
+        """§5: 'Adding restrictions to additional kernel components could
+        be done incrementally' — carving one more protected region needs
+        no changes anywhere else."""
+        system = CaratKopSystem(SystemConfig(machine=None))
+        extra = system.kernel.kmalloc_allocator.kmalloc(4096)
+        # Insert a deny carve-out in front (first-match-wins).
+        regions = system.policy.index.regions()
+        system.policy_manager.clear()
+        system.policy_manager.deny(extra, 4096)
+        for r in regions:
+            system.policy_manager.add_region(r.base, r.length, r.prot)
+        assert system.blast(size=128, count=10).errors == 0  # driver fine
+        rogue = compile_module(
+            "__export long f(long a) { return *(long *)a; }",
+            CompileOptions(module_name="rogue", key=system.signing_key),
+        )
+        loaded = system.kernel.insmod(rogue)
+        with pytest.raises(KernelPanic):
+            system.kernel.run_function(loaded, "f", [extra])

@@ -1,0 +1,98 @@
+"""docs/TUTORIAL.md must stay executable — this test IS the tutorial."""
+
+import pytest
+
+from repro import CompileOptions, Kernel, KernelPanic, SigningKey, compile_module
+from repro.policy import CaratPolicyModule, PolicyManager, PolicyMiner
+
+SOURCE = """
+extern void *kmalloc(long size, int flags);
+extern int printk(char *fmt, ...);
+
+enum { SLOTS = 64 };
+
+long *samples;
+long head;
+
+__export int init_module(void) {
+    samples = (long *)kmalloc(SLOTS * 8, 0);
+    printk("stats_collector ready");
+    return 0;
+}
+
+__export void record(long value) {
+    samples[head % SLOTS] = value;
+    head += 1;
+}
+
+__export long latest(void) {
+    return head ? samples[(head - 1) % SLOTS] : 0;
+}
+"""
+
+BUGGY = SOURCE.replace("samples[head % SLOTS]", "samples[SLOTS]")
+
+
+def test_tutorial_end_to_end():
+    # step 2: compile twice
+    key = SigningKey.generate()
+    baseline = compile_module(
+        SOURCE, CompileOptions(module_name="stats", protect=False, key=key)
+    )
+    protected = compile_module(
+        SOURCE, CompileOptions(module_name="stats", protect=True, key=key)
+    )
+    assert protected.guard_count > 0
+    assert protected.stats.code_growth > 1.0
+    assert protected.signature.guarded
+
+    # step 3: boot + insmod
+    kernel = Kernel(signing_key=key, require_protected_modules=True)
+    policy = CaratPolicyModule(kernel).install()
+    manager = PolicyManager(kernel)
+    manager.install_two_region_policy()
+
+    from repro.kernel import LoadError
+
+    with pytest.raises(LoadError):
+        kernel.insmod(baseline)  # strict kernel refuses the baseline
+
+    loaded = kernel.insmod(protected)
+    kernel.run_function(loaded, "record", [42])
+    assert kernel.run_function(loaded, "latest", []) == 42
+    assert policy.stats.checks > 0
+
+    # step 4: mine a tight policy
+    miner = PolicyMiner(policy, max_regions=8)
+    with miner:
+        for v in range(200):
+            kernel.run_function(loaded, "record", [v])
+    mined = miner.mine(page_align=False)
+    assert 1 <= len(mined.regions) <= 8
+    mined.install(manager)
+    denied_before = policy.stats.denied
+    for v in range(200):
+        kernel.run_function(loaded, "record", [v])
+    assert policy.stats.denied == denied_before  # zero denials on replay
+
+    # step 5: the buggy build gets caught on its first stray store
+    kernel2 = Kernel(signing_key=key, require_protected_modules=True)
+    policy2 = CaratPolicyModule(kernel2).install()
+    manager2 = PolicyManager(kernel2)
+    manager2.install_two_region_policy()
+    buggy = compile_module(
+        BUGGY, CompileOptions(module_name="stats", protect=True, key=key)
+    )
+    loaded2 = kernel2.insmod(buggy)
+    # The operator's tight hand-written policy: the module's globals plus
+    # exactly its 64-slot ring (the pointer is in the module's `samples`
+    # global), nothing else.
+    ring = kernel2.address_space.read_int(loaded2.address_of("samples"), 8)
+    manager2.clear()
+    manager2.allow(loaded2.base, loaded2.size)
+    manager2.allow(ring, 64 * 8)
+    manager2.set_default(False)
+    # The stray store lands one slot past the ring: out of policy.
+    with pytest.raises(KernelPanic, match="forbidden W"):
+        kernel2.run_function(loaded2, "record", [1])
+    assert any("DENY module=stats" in l for l in kernel2.dmesg_log)

@@ -1,0 +1,202 @@
+"""Module / BasicBlock / Function container and IRBuilder tests."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    StructType,
+    VOID,
+    ptr,
+)
+from repro.ir.instructions import Ret
+
+
+def make_fn(name="f", ret=I32, params=(I32,)):
+    return Function(name, FunctionType(ret, list(params)), None)
+
+
+class TestBasicBlock:
+    def test_append_sets_parent(self):
+        fn = make_fn()
+        bb = fn.add_block("entry")
+        b = IRBuilder(bb)
+        inst = b.add(b.const_i32(1), b.const_i32(2))
+        assert inst.parent is bb
+
+    def test_append_after_terminator_rejected(self):
+        fn = make_fn(ret=VOID, params=())
+        bb = fn.add_block("entry")
+        b = IRBuilder(bb)
+        b.ret()
+        with pytest.raises(ValueError):
+            bb.append(Ret())
+
+    def test_insert_before(self):
+        fn = make_fn()
+        bb = fn.add_block("entry")
+        b = IRBuilder(bb)
+        x = b.add(b.const_i32(1), b.const_i32(2))
+        y = b.mul(b.const_i32(3), b.const_i32(4))
+        bb.remove(y)
+        bb.insert_before(y, x)
+        assert bb.instructions[0] is y
+
+    def test_remove_unknown_instruction(self):
+        fn = make_fn()
+        bb = fn.add_block("entry")
+        with pytest.raises(ValueError):
+            bb.remove(Ret())
+
+    def test_successors_from_terminator(self):
+        fn = make_fn(ret=VOID, params=())
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        b = IRBuilder(a)
+        b.br(c)
+        assert a.successors == [c]
+        assert c.successors == []
+
+
+class TestFunction:
+    def test_declaration_has_no_entry(self):
+        fn = make_fn()
+        assert fn.is_declaration
+        with pytest.raises(ValueError):
+            fn.entry
+
+    def test_args_match_signature(self):
+        fn = Function("g", FunctionType(VOID, [I32, I64]), ["a", "b"])
+        assert [a.name for a in fn.args] == ["a", "b"]
+        assert fn.args[1].type is I64
+
+    def test_arg_names_length_checked(self):
+        with pytest.raises(ValueError):
+            Function("g", FunctionType(VOID, [I32]), ["a", "b"])
+
+    def test_add_block_unique_names(self):
+        fn = make_fn()
+        b1 = fn.add_block("loop")
+        b2 = fn.add_block("loop")
+        assert b1.name != b2.name
+
+    def test_block_named(self):
+        fn = make_fn()
+        bb = fn.add_block("entry")
+        assert fn.block_named("entry") is bb
+        with pytest.raises(KeyError):
+            fn.block_named("missing")
+
+    def test_predecessors(self):
+        fn = make_fn(ret=VOID, params=())
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        IRBuilder(a).br(c)
+        preds = fn.predecessors()
+        assert preds[c] == [a]
+        assert preds[a] == []
+
+    def test_instructions_iterates_in_order(self):
+        fn = make_fn(ret=VOID, params=())
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        b = IRBuilder(a)
+        b.br(c)
+        b.position_at_end(c)
+        b.ret()
+        assert [i.opcode for i in fn.instructions()] == ["br", "ret"]
+
+
+class TestModule:
+    def test_duplicate_symbols_rejected(self):
+        m = Module("m")
+        m.add_function(make_fn("x"))
+        with pytest.raises(ValueError):
+            m.add_function(make_fn("x"))
+        with pytest.raises(ValueError):
+            m.add_global(GlobalVariable(I32, "x"))
+
+    def test_declare_function_get_or_create(self):
+        m = Module("m")
+        ft = FunctionType(VOID, [I32])
+        a = m.declare_function("ext", ft)
+        b = m.declare_function("ext", ft)
+        assert a is b
+
+    def test_declare_function_conflicting_type(self):
+        m = Module("m")
+        m.declare_function("ext", FunctionType(VOID, [I32]))
+        with pytest.raises(ValueError):
+            m.declare_function("ext", FunctionType(VOID, [I64]))
+
+    def test_get_function_missing(self):
+        m = Module("m")
+        with pytest.raises(KeyError):
+            m.get_function("nope")
+
+    def test_exported_symbols(self):
+        m = Module("m")
+        fn = Function("e", FunctionType(VOID, []), linkage="exported")
+        fn.add_block("entry")
+        m.add_function(fn)
+        m.add_function(make_fn("internal_one"))
+        assert [s.name for s in m.exported_symbols()] == ["e"]
+
+    def test_instruction_count(self):
+        m = Module("m")
+        fn = make_fn("c", ret=VOID, params=())
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret()
+        assert m.instruction_count() == 1
+
+    def test_struct_registration_conflict(self):
+        m = Module("m")
+        s1 = StructType("pt", [I32], ["x"])
+        m.add_struct(s1)
+        m.add_struct(s1)  # same instance is fine
+        s2 = StructType("pt", [I64], ["x"])
+        with pytest.raises(ValueError):
+            m.add_struct(s2)
+
+
+class TestBuilder:
+    def test_auto_naming(self):
+        fn = make_fn()
+        b = IRBuilder(fn.add_block("entry"))
+        x = b.add(b.const_i32(1), b.const_i32(2))
+        y = b.add(x, x)
+        assert x.name and y.name and x.name != y.name
+
+    def test_builder_without_position(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError):
+            b.ret()
+
+    def test_phi_inserted_at_block_top(self):
+        fn = make_fn()
+        bb = fn.add_block("entry")
+        b = IRBuilder(bb)
+        b.add(b.const_i32(1), b.const_i32(1))
+        phi = b.phi(I32)
+        assert bb.instructions[0] is phi
+
+    def test_struct_field_ptr_uses_offsets(self):
+        st = StructType("fp", [I32, I64], ["a", "b"])
+        fn = Function("h", FunctionType(VOID, [ptr(st)]), ["s"])
+        b = IRBuilder(fn.add_block("entry"))
+        g = b.struct_field_ptr(fn.args[0], 1)
+        assert g.displacement == 8
+        assert g.type is ptr(I64)
+
+    def test_bitcast_identity_elided(self):
+        fn = Function("h2", FunctionType(VOID, [ptr(I32)]), ["p"])
+        b = IRBuilder(fn.add_block("entry"))
+        same = b.bitcast(fn.args[0], ptr(I32))
+        assert same is fn.args[0]

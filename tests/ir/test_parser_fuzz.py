@@ -1,0 +1,58 @@
+"""IR parser robustness: malformed IR is diagnosed, never crashes.
+
+The kernel-side loader parses .kop containers from untrusted vendors
+*before* the signature check can even run (the signature covers the
+canonical bytes, which requires parsing them) — so the parser is attack
+surface and must fail closed with IRParseError only.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import example, given, settings
+
+from repro.ir.parser import IRParseError, parse_module
+
+_WORDS = [
+    "add", "load", "store", "br", "ret", "phi", "call", "call.guard",
+    "icmp", "slt", "i32", "i64", "i8*", "label", "%x", "%y", "@f", "@g",
+    "void", "1", "-3", "999999999999999999999", "[", "]", "{", "}", "(",
+    ")", ",", "=", ":", "alloca", "count", "scale", "disp", "to", "undef",
+    "null", "gep", "switch", "default", "select", "zext", "trunc",
+    "unreachable", "asm", '"x"', "f64", "1.5",
+]
+
+
+@st.composite
+def pseudo_ir(draw):
+    body = " ".join(
+        draw(st.sampled_from(_WORDS))
+        for _ in range(draw(st.integers(min_value=0, max_value=20)))
+    )
+    return (
+        f'module "m"\n\ndefine internal void @f() {{\nentry:\n'
+        f"  {body}\n  ret void\n}}\n"
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@example('module "m"\n\n@g = internal global i32 null\n')      # null on int
+@example('module "m"\n\ndefine internal void @f() {\nentry:\n'
+         "  %x = load i32 undef\n  ret void\n}\n")             # non-ptr load
+@example('module "m"\n\ndefine internal void @f() {\nentry:\n'
+         "  %x = add void null, void null\n  ret void\n}\n")
+@given(pseudo_ir())
+def test_parse_module_diagnoses_or_accepts(text):
+    try:
+        parse_module(text)
+    except IRParseError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(
+    alphabet='abcdefgXYZ0123456789 \n\t%@!#={}[]:,*()".-', max_size=120,
+))
+def test_parse_module_raw_text(text):
+    try:
+        parse_module('module "m"\n' + text)
+    except IRParseError:
+        pass

@@ -1,0 +1,98 @@
+"""Property-based tests: IR print/parse round trip, integer semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    I8,
+    I16,
+    I32,
+    I64,
+    IRBuilder,
+    IntType,
+    Module,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir.instructions import BINOPS, ICMP_PREDICATES
+
+INT_TYPES = (I8, I16, I32, I64)
+INT_BINOPS = [op for op in BINOPS if not op.startswith("f")]
+
+
+@st.composite
+def straightline_module(draw):
+    """A module with one function of random straight-line arithmetic."""
+    t = draw(st.sampled_from(INT_TYPES))
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    m = Module("prop")
+    fn = Function("f", FunctionType(t, [t, t]), ["a", "b"])
+    m.add_function(fn)
+    b = IRBuilder(fn.add_block("entry"))
+    values = [fn.args[0], fn.args[1]]
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["binop", "icmp_select", "const"]))
+        if kind == "binop":
+            op = draw(st.sampled_from(INT_BINOPS))
+            lhs = draw(st.sampled_from(values))
+            rhs = draw(st.sampled_from(values))
+            values.append(b.binop(op, lhs, rhs))
+        elif kind == "icmp_select":
+            pred = draw(st.sampled_from(ICMP_PREDICATES))
+            lhs = draw(st.sampled_from(values))
+            rhs = draw(st.sampled_from(values))
+            c = b.icmp(pred, lhs, rhs)
+            values.append(b.select(c, lhs, rhs))
+        else:
+            values.append(
+                ConstantInt(t, draw(st.integers(-(2**40), 2**40)))
+            )
+    b.ret(values[-1] if values[-1].type is t else values[0])
+    return m
+
+
+@settings(max_examples=60, deadline=None)
+@given(straightline_module())
+def test_print_parse_fixed_point(m):
+    verify_module(m)
+    text = print_module(m)
+    m2 = parse_module(text)
+    verify_module(m2)
+    assert print_module(m2) == text
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sampled_from(INT_TYPES),
+    st.integers(min_value=-(2**70), max_value=2**70),
+)
+def test_constant_wrap_roundtrip(t, v):
+    c = ConstantInt(t, v)
+    assert 0 <= c.value <= t.max_unsigned
+    # signed interpretation round-trips through wrap
+    assert t.wrap(c.signed) == c.value
+    assert t.min_signed <= c.signed <= t.max_signed
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(-(2**70), 2**70), st.integers(-(2**70), 2**70))
+def test_wrap_is_additive_homomorphism(a, b):
+    # (a + b) mod 2^n == (a mod 2^n + b mod 2^n) mod 2^n for every width
+    for t in INT_TYPES:
+        assert t.wrap(a + b) == t.wrap(t.wrap(a) + t.wrap(b))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=40))
+def test_string_constant_roundtrip(data):
+    from repro.ir import ConstantString, GlobalVariable
+
+    m = Module("strs")
+    init = ConstantString(data)
+    m.add_global(GlobalVariable(init.type, "blob", init, is_const=True))
+    m2 = parse_module(print_module(m))
+    assert m2.get_global("blob").initializer.data == data

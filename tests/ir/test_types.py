@@ -1,0 +1,166 @@
+"""Type-system tests: interning, layout, integer semantics."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    VoidType,
+    ptr,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is I32
+
+    def test_distinct_widths_distinct_objects(self):
+        assert IntType(8) is not IntType(16)
+
+    def test_float_types_are_interned(self):
+        assert FloatType(64) is F64
+
+    def test_pointer_types_are_interned(self):
+        assert PointerType(I32) is PointerType(I32)
+
+    def test_nested_pointer_interning(self):
+        assert ptr(ptr(I8)) is ptr(ptr(I8))
+
+    def test_array_types_are_interned(self):
+        assert ArrayType(I64, 4) is ArrayType(I64, 4)
+        assert ArrayType(I64, 4) is not ArrayType(I64, 5)
+
+    def test_void_singleton(self):
+        assert VoidType() is VOID
+
+    def test_function_type_interned(self):
+        a = FunctionType(VOID, [I32, I64])
+        b = FunctionType(VOID, [I32, I64])
+        assert a is b
+
+    def test_function_type_vararg_distinct(self):
+        assert FunctionType(VOID, [I32]) is not FunctionType(VOID, [I32], True)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "t,size",
+        [(I1, 1), (I8, 1), (I16, 2), (I32, 4), (I64, 8), (F32, 4), (F64, 8)],
+    )
+    def test_scalar_sizes(self, t, size):
+        assert t.size_bytes() == size
+
+    def test_pointer_size(self):
+        assert ptr(I8).size_bytes() == 8
+
+    def test_array_size(self):
+        assert ArrayType(I32, 10).size_bytes() == 40
+
+    def test_array_alignment_follows_element(self):
+        assert ArrayType(I64, 3).align_bytes() == 8
+        assert ArrayType(I8, 3).align_bytes() == 1
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.size_bytes()
+
+    def test_function_type_has_no_size(self):
+        with pytest.raises(TypeError):
+            FunctionType(VOID, []).size_bytes()
+
+
+class TestStructLayout:
+    def test_c_style_padding(self):
+        st = StructType("s", [I8, I32, I8, I64], ["a", "b", "c", "d"])
+        assert st.field_offset(0) == 0
+        assert st.field_offset(1) == 4   # padded to i32 alignment
+        assert st.field_offset(2) == 8
+        assert st.field_offset(3) == 16  # padded to i64 alignment
+        assert st.size_bytes() == 24
+
+    def test_tail_padding(self):
+        st = StructType("t", [I64, I8], ["a", "b"])
+        assert st.size_bytes() == 16  # rounded up to 8-alignment
+
+    def test_empty_struct(self):
+        st = StructType("e", [])
+        assert st.size_bytes() == 0
+
+    def test_field_index_by_name(self):
+        st = StructType("n", [I32, I64], ["x", "y"])
+        assert st.field_index("y") == 1
+        with pytest.raises(KeyError):
+            st.field_index("z")
+
+    def test_field_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            StructType("bad", [I32], ["a", "b"])
+
+    def test_struct_alignment(self):
+        st = StructType("al", [I8, I16], ["a", "b"])
+        assert st.align_bytes() == 2
+        assert st.size_bytes() == 4
+
+    def test_nested_struct_layout(self):
+        inner = StructType("inner2", [I32, I32], ["a", "b"])
+        outer = StructType("outer2", [I8, inner], ["x", "s"])
+        assert outer.field_offset(1) == 4
+        assert outer.size_bytes() == 12
+
+
+class TestIntegerSemantics:
+    def test_wrap_truncates(self):
+        assert I8.wrap(0x1FF) == 0xFF
+        assert I8.wrap(-1) == 0xFF
+
+    def test_to_signed_roundtrip(self):
+        assert I8.to_signed(0xFF) == -1
+        assert I8.to_signed(0x7F) == 127
+        assert I16.to_signed(0x8000) == -32768
+
+    def test_bounds(self):
+        assert I32.max_unsigned == 0xFFFFFFFF
+        assert I32.max_signed == 0x7FFFFFFF
+        assert I32.min_signed == -0x80000000
+
+    def test_i1_bounds(self):
+        assert I1.max_unsigned == 1
+        assert I1.to_signed(1) == 1
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+
+class TestPredicates:
+    def test_first_class(self):
+        assert I32.is_first_class
+        assert ptr(I8).is_first_class
+        assert not VOID.is_first_class
+        assert not FunctionType(VOID, []).is_first_class
+
+    def test_aggregate(self):
+        assert ArrayType(I8, 2).is_aggregate
+        assert StructType("agg", [I8]).is_aggregate
+        assert not I64.is_aggregate
+
+    def test_str_forms(self):
+        assert str(I32) == "i32"
+        assert str(ptr(I32)) == "i32*"
+        assert str(ArrayType(I8, 7)) == "[7 x i8]"
+        assert str(FunctionType(I32, [I8], True)) == "i32 (i8, ...)"

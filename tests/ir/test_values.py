@@ -1,0 +1,93 @@
+"""Value hierarchy tests: constants, globals, arguments."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    F64,
+    GlobalVariable,
+    I8,
+    I32,
+    I64,
+    UndefValue,
+    ptr,
+)
+
+
+class TestConstantInt:
+    def test_stores_unsigned_pattern(self):
+        c = ConstantInt(I8, -1)
+        assert c.value == 0xFF
+        assert c.signed == -1
+
+    def test_wraps_on_construction(self):
+        assert ConstantInt(I8, 256).value == 0
+
+    def test_equality_by_type_and_value(self):
+        assert ConstantInt(I32, 5) == ConstantInt(I32, 5)
+        assert ConstantInt(I32, 5) != ConstantInt(I64, 5)
+        assert ConstantInt(I32, 5) != ConstantInt(I32, 6)
+
+    def test_hashable(self):
+        assert len({ConstantInt(I32, 1), ConstantInt(I32, 1)}) == 1
+
+    def test_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(F64, 1)  # type: ignore[arg-type]
+
+    def test_ref_prints_signed(self):
+        assert ConstantInt(I8, -2).ref() == "i8 -2"
+
+
+class TestOtherConstants:
+    def test_float_requires_float_type(self):
+        with pytest.raises(TypeError):
+            ConstantFloat(I32, 1.0)  # type: ignore[arg-type]
+
+    def test_float_equality(self):
+        assert ConstantFloat(F64, 1.5) == ConstantFloat(F64, 1.5)
+
+    def test_null_requires_pointer(self):
+        with pytest.raises(TypeError):
+            ConstantNull(I32)  # type: ignore[arg-type]
+
+    def test_null_equality(self):
+        assert ConstantNull(ptr(I8)) == ConstantNull(ptr(I8))
+        assert ConstantNull(ptr(I8)) != ConstantNull(ptr(I32))
+
+    def test_string_type_is_byte_array(self):
+        s = ConstantString(b"hi")
+        assert s.type.size_bytes() == 2
+
+    def test_string_escaping_in_ref(self):
+        s = ConstantString(b'a"b\x00')
+        assert '\\22' in s.ref() or '\\00' in s.ref()
+
+    def test_undef_any_type(self):
+        assert UndefValue(I64).ref() == "i64 undef"
+
+
+class TestGlobals:
+    def test_global_value_is_pointer_typed(self):
+        g = GlobalVariable(I32, "g")
+        assert g.type is ptr(I32)
+        assert g.value_type is I32
+
+    def test_bad_linkage_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalVariable(I32, "g", linkage="bogus")
+
+    def test_const_flag(self):
+        g = GlobalVariable(I8, "ro", is_const=True)
+        assert g.is_const
+
+
+class TestArgument:
+    def test_argument_ref(self):
+        a = Argument(I32, "n", 0)
+        assert a.ref() == "i32 %n"
+        assert a.index == 0

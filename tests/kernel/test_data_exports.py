@@ -1,0 +1,116 @@
+"""Exported data symbols: __export on globals + cross-module data links."""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.kernel import Kernel, LoadError
+
+PROVIDER = """
+__export long shared_counter = 100;
+__export long config_table[4];
+static long private_state;
+__export long bump(void) { shared_counter += 1; return shared_counter; }
+"""
+
+CONSUMER = """
+extern long shared_counter;
+extern long config_table[4];
+__export long read_counter(void) { return shared_counter; }
+__export long write_counter(long v) { shared_counter = v; return v; }
+__export long read_table(int i) { return config_table[i]; }
+"""
+
+
+@pytest.fixture()
+def pair(kernel):
+    provider = kernel.insmod(
+        compile_module(PROVIDER, CompileOptions(module_name="prov", protect=False))
+    )
+    consumer = kernel.insmod(
+        compile_module(CONSUMER, CompileOptions(module_name="cons", protect=False))
+    )
+    return kernel, provider, consumer
+
+
+class TestDataExports:
+    def test_exported_global_has_exported_linkage(self):
+        compiled = compile_module(
+            PROVIDER, CompileOptions(module_name="p", protect=False)
+        )
+        assert compiled.ir.get_global("shared_counter").linkage == "exported"
+        assert compiled.ir.get_global("private_state").linkage == "internal"
+
+    def test_consumer_sees_provider_initializer(self, pair):
+        kernel, _, consumer = pair
+        assert kernel.run_function(consumer, "read_counter", []) == 100
+
+    def test_both_modules_share_one_storage(self, pair):
+        kernel, provider, consumer = pair
+        kernel.run_function(consumer, "write_counter", [555])
+        assert kernel.run_function(provider, "bump", []) == 556
+        assert kernel.run_function(consumer, "read_counter", []) == 556
+
+    def test_array_export(self, pair):
+        kernel, provider, consumer = pair
+        addr = provider.address_of("config_table")
+        kernel.address_space.write_int(addr + 16, 8, 77)
+        assert kernel.run_function(consumer, "read_table", [2]) == 77
+
+    def test_data_import_pins_provider(self, pair):
+        kernel, *_ = pair
+        with pytest.raises(LoadError, match="in use"):
+            kernel.rmmod("prov")
+        kernel.rmmod("cons")
+        kernel.rmmod("prov")
+
+    def test_unresolved_data_symbol(self, kernel):
+        with pytest.raises(LoadError, match="unresolved data symbol"):
+            kernel.insmod(
+                compile_module(
+                    CONSUMER, CompileOptions(module_name="cons", protect=False)
+                )
+            )
+
+    def test_internal_globals_not_importable(self, kernel):
+        kernel.insmod(
+            compile_module(PROVIDER, CompileOptions(module_name="prov", protect=False))
+        )
+        with pytest.raises(LoadError, match="unresolved data symbol"):
+            kernel.insmod(
+                compile_module(
+                    "extern long private_state;\n"
+                    "__export long f(void) { return private_state; }",
+                    CompileOptions(module_name="snoop", protect=False),
+                )
+            )
+
+    def test_guarded_cross_module_data_access(self, key):
+        """Protected consumer touching provider data goes through guards
+        against the provider's module region."""
+        from repro.core.system import CaratKopSystem, SystemConfig
+
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        kernel = system.kernel
+        kernel.insmod(
+            compile_module(
+                PROVIDER, CompileOptions(module_name="prov", key=system.signing_key)
+            )
+        )
+        consumer = kernel.insmod(
+            compile_module(
+                CONSUMER, CompileOptions(module_name="cons", key=system.signing_key)
+            )
+        )
+        checks = system.guard_stats()["checks"]
+        assert kernel.run_function(consumer, "read_counter", []) == 100
+        assert system.guard_stats()["checks"] == checks + 1
+
+    def test_printed_ir_roundtrips_exported_globals(self):
+        from repro.ir import parse_module, print_module
+
+        compiled = compile_module(
+            PROVIDER, CompileOptions(module_name="p", protect=False)
+        )
+        text = print_module(compiled.ir)
+        m2 = parse_module(text)
+        assert m2.get_global("shared_counter").linkage == "exported"

@@ -1,0 +1,144 @@
+"""Interrupt-controller and interrupt-driven driver tests."""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.kernel.irq import IrqError
+from repro.net import make_test_frame
+
+HANDLER_MODULE = """
+long hits;
+long last_line;
+__export int my_isr(int line) {
+    hits += 1;
+    last_line = (long)line;
+    return 1;
+}
+__export long get_hits(void) { return hits; }
+__export long get_line(void) { return last_line; }
+"""
+
+
+@pytest.fixture()
+def loaded(kernel):
+    compiled = compile_module(
+        HANDLER_MODULE, CompileOptions(module_name="isr_mod", protect=False)
+    )
+    return kernel.insmod(compiled)
+
+
+class TestController:
+    def test_register_and_raise(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        kernel.irq.request_irq(line, loaded, "my_isr")
+        assert kernel.irq.raise_irq(line) is True
+        assert kernel.run_function(loaded, "get_hits", []) == 1
+        assert kernel.run_function(loaded, "get_line", []) == line
+
+    def test_spurious_interrupt_logged(self, kernel):
+        assert kernel.irq.raise_irq(40) is False
+        assert any("spurious" in l for l in kernel.dmesg_log)
+
+    def test_line_conflict(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        kernel.irq.request_irq(line, loaded, "my_isr")
+        with pytest.raises(IrqError, match="already requested"):
+            kernel.irq.request_irq(line, loaded, "my_isr")
+
+    def test_unknown_handler_rejected(self, kernel, loaded):
+        with pytest.raises(IrqError, match="does not define"):
+            kernel.irq.request_irq(kernel.irq.allocate_line(), loaded, "ghost")
+
+    def test_bad_handler_arity_rejected(self, kernel, loaded):
+        with pytest.raises(IrqError, match="one argument"):
+            kernel.irq.request_irq(
+                kernel.irq.allocate_line(), loaded, "get_hits"
+            )
+
+    def test_free_irq(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        kernel.irq.request_irq(line, loaded, "my_isr")
+        kernel.irq.free_irq(line, loaded)
+        assert kernel.irq.raise_irq(line) is False
+
+    def test_free_wrong_owner(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        kernel.irq.request_irq(line, loaded, "my_isr")
+        other = kernel.insmod(
+            compile_module(
+                "__export int h(int l) { return 0; }",
+                CompileOptions(module_name="other", protect=False),
+            )
+        )
+        with pytest.raises(IrqError, match="not owned"):
+            kernel.irq.free_irq(line, other)
+
+    def test_cli_masks_delivery(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        kernel.irq.request_irq(line, loaded, "my_isr")
+        kernel.interrupts_enabled = False
+        assert kernel.irq.raise_irq(line) is False
+        kernel.interrupts_enabled = True
+        assert kernel.irq.raise_irq(line) is True
+
+    def test_rmmod_releases_lines(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        kernel.irq.request_irq(line, loaded, "my_isr")
+        kernel.rmmod("isr_mod")
+        assert kernel.irq.action_for(line) is None
+
+    def test_stats(self, kernel, loaded):
+        line = kernel.irq.allocate_line()
+        action = kernel.irq.request_irq(line, loaded, "my_isr")
+        kernel.irq.raise_irq(line)
+        kernel.irq.raise_irq(line)
+        assert action.fired == 2
+        assert action.coalesced == 0
+
+
+class TestInterruptDrivenDriver:
+    def test_rx_interrupt_drives_clean(self):
+        """With interrupts on, injected frames reach the stack with NO
+        explicit polling — the ISR does the work."""
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        assert system.netdev.enable_interrupts() == 0
+        frames = [make_test_frame(100, seq) for seq in range(5)]
+        for f in frames:
+            assert system.netdev.inject_rx(f)
+        # No poll_rx() call: the device raised, the ISR cleaned.
+        assert system.netdev.rx_queue == [f.encode() for f in frames]
+        assert system.netdev.stats()["irq_count"] == 5
+
+    def test_tx_interrupt_cleans_ring(self):
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        system.netdev.enable_interrupts()
+        for seq in range(10):
+            assert system.netdev.xmit(make_test_frame(128, seq)) == 0
+        stats = system.netdev.stats()
+        assert stats["irq_count"] > 0
+        assert stats["cleaned"] >= 1
+
+    def test_isr_runs_under_guards(self):
+        """ISR code is module code: its memory accesses are guarded."""
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        system.netdev.enable_interrupts()
+        checks_before = system.guard_stats()["checks"]
+        system.netdev.inject_rx(make_test_frame(64, 0))
+        assert system.guard_stats()["checks"] > checks_before
+
+    def test_disable_interrupts_restores_polling(self):
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        system.netdev.enable_interrupts()
+        system.netdev.inject_rx(make_test_frame(64, 0))
+        assert system.netdev.disable_interrupts() == 0
+        system.netdev.inject_rx(make_test_frame(64, 1))
+        assert len(system.netdev.rx_queue) == 1  # second frame waits
+        system.netdev.poll_rx()
+        assert len(system.netdev.rx_queue) == 2
+
+    def test_polling_mode_default_no_irqs(self):
+        """The evaluation path (paper §4) polls; IMS stays masked."""
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        system.blast(size=128, count=10)
+        assert system.netdev.stats()["irq_count"] == 0

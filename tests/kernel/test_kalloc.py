@@ -1,0 +1,132 @@
+"""Allocator tests: page allocator and kmalloc slab."""
+
+import pytest
+
+from repro.kernel import KernelPanic, PageAllocator, PhysicalMemory, layout
+from repro.kernel.kalloc import KmallocAllocator
+
+
+@pytest.fixture()
+def pages():
+    return PageAllocator(PhysicalMemory(8 << 20))
+
+
+@pytest.fixture()
+def km(pages):
+    return KmallocAllocator(pages)
+
+
+class TestPageAllocator:
+    def test_returns_aligned_distinct_pages(self, pages):
+        a = pages.alloc_pages(1)
+        b = pages.alloc_pages(1)
+        assert a % layout.PAGE_SIZE == 0
+        assert b % layout.PAGE_SIZE == 0
+        assert a != b
+
+    def test_reserved_low_memory(self, pages):
+        assert pages.alloc_pages(1) >= 1 << 20
+
+    def test_free_then_realloc_reuses(self, pages):
+        a = pages.alloc_pages(2)
+        pages.free_pages(a, 2)
+        b = pages.alloc_pages(2)
+        assert b == a
+
+    def test_coalescing(self, pages):
+        a = pages.alloc_pages(1)
+        b = pages.alloc_pages(1)
+        assert b == a + layout.PAGE_SIZE
+        pages.free_pages(a, 1)
+        pages.free_pages(b, 1)
+        c = pages.alloc_pages(2)  # needs the coalesced pair
+        assert c == a
+
+    def test_out_of_memory_panics(self, pages):
+        with pytest.raises(KernelPanic, match="out of memory"):
+            pages.alloc_pages(1 << 20)
+
+    def test_counters(self, pages):
+        a = pages.alloc_pages(3)
+        assert pages.allocated_pages == 3
+        pages.free_pages(a, 3)
+        assert pages.allocated_pages == 0
+
+    def test_bad_requests(self, pages):
+        with pytest.raises(ValueError):
+            pages.alloc_pages(0)
+        with pytest.raises(ValueError):
+            pages.free_pages(123, 1)  # unaligned
+
+
+class TestKmalloc:
+    def test_returns_direct_map_addresses(self, km):
+        addr = km.kmalloc(100)
+        assert addr >= layout.DIRECT_MAP_BASE
+
+    def test_size_class_rounding(self, km):
+        addr = km.kmalloc(100)
+        assert km.usable_size(addr) == 128
+
+    def test_distinct_allocations(self, km):
+        addrs = {km.kmalloc(64) for _ in range(100)}
+        assert len(addrs) == 100
+
+    def test_free_and_reuse(self, km):
+        a = km.kmalloc(64)
+        km.kfree(a)
+        b = km.kmalloc(64)
+        assert b == a
+
+    def test_kfree_null_is_noop(self, km):
+        km.kfree(0)
+
+    def test_double_free_panics(self, km):
+        a = km.kmalloc(32)
+        km.kfree(a)
+        with pytest.raises(KernelPanic, match="kfree"):
+            km.kfree(a)
+
+    def test_free_unknown_address_panics(self, km):
+        with pytest.raises(KernelPanic):
+            km.kfree(layout.DIRECT_MAP_BASE + 12345)
+
+    def test_large_allocation_whole_pages(self, km):
+        addr = km.kmalloc(3 * layout.PAGE_SIZE + 1)
+        assert km.usable_size(addr) == 4 * layout.PAGE_SIZE
+        km.kfree(addr)
+
+    def test_accounting(self, km):
+        a = km.kmalloc(64)
+        b = km.kmalloc(200)
+        assert km.live_allocations == 2
+        assert km.bytes_allocated == 64 + 256
+        km.kfree(a)
+        km.kfree(b)
+        assert km.live_allocations == 0
+        assert km.bytes_allocated == 0
+
+    def test_allocation_range_for_interior_pointer(self, km):
+        a = km.kmalloc(256)
+        base, size = km.allocation_range(a + 100)
+        assert base == a and size == 256
+        with pytest.raises(KeyError):
+            km.allocation_range(layout.DIRECT_MAP_BASE)
+
+    def test_owns(self, km):
+        a = km.kmalloc(16)
+        assert km.owns(a)
+        assert not km.owns(a + 1)
+
+    def test_invalid_size(self, km):
+        with pytest.raises(ValueError):
+            km.kmalloc(0)
+
+    def test_allocations_do_not_overlap(self, km):
+        spans = []
+        for _ in range(50):
+            a = km.kmalloc(48)
+            spans.append((a, a + km.usable_size(a)))
+        spans.sort()
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2

@@ -1,0 +1,262 @@
+"""Module loader, symbol table, chardev, and native tests."""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.kernel import (
+    IoctlError,
+    Kernel,
+    KernelPanic,
+    LoadError,
+    Symbol,
+    SymbolTable,
+)
+from repro.kernel.chardev import ENOENT, EPERM
+
+
+class TestSymbolTable:
+    def test_export_and_resolve(self):
+        t = SymbolTable()
+        t.export_native("foo", lambda ctx: 1)
+        assert t.resolve("foo").is_native
+        assert "foo" in t
+
+    def test_duplicate_export_rejected(self):
+        t = SymbolTable()
+        t.export_native("foo", lambda ctx: 1)
+        with pytest.raises(ValueError):
+            t.export_native("foo", lambda ctx: 2)
+
+    def test_unresolved_raises(self):
+        t = SymbolTable()
+        with pytest.raises(KeyError):
+            t.resolve("ghost")
+        assert t.lookup("ghost") is None
+
+    def test_remove_owner(self):
+        t = SymbolTable()
+        t.export_native("a", lambda: 0, owner="mod1")
+        t.export_native("b", lambda: 0, owner="mod1")
+        t.export_native("c", lambda: 0, owner="mod2")
+        removed = t.remove_owner("mod1")
+        assert sorted(removed) == ["a", "b"]
+        assert "c" in t and "a" not in t
+
+    def test_symbol_needs_exactly_one_impl(self):
+        with pytest.raises(ValueError):
+            Symbol("x")
+        with pytest.raises(ValueError):
+            from repro.ir import Function, FunctionType, VOID
+
+            Symbol("x", native=lambda: 0,
+                   function=Function("f", FunctionType(VOID, [])))
+
+
+MODULE_A = """
+long shared_state;
+__export long get_state(void) { return shared_state; }
+__export long set_state(long v) { shared_state = v; return v; }
+"""
+
+MODULE_B = """
+extern long get_state(void);
+extern long set_state(long v);
+__export long use_a(void) { set_state(41); return get_state() + 1; }
+"""
+
+
+class TestLoader:
+    def test_insmod_rmmod_cycle(self, kernel):
+        a = compile_module(MODULE_A, CompileOptions(module_name="a", protect=False))
+        kernel.insmod(a)
+        assert kernel.lsmod() == ["a"]
+        kernel.rmmod("a")
+        assert kernel.lsmod() == []
+
+    def test_duplicate_insmod_rejected(self, kernel):
+        a = compile_module(MODULE_A, CompileOptions(module_name="a", protect=False))
+        kernel.insmod(a)
+        with pytest.raises(LoadError, match="already loaded"):
+            kernel.insmod(a)
+
+    def test_rmmod_unknown(self, kernel):
+        with pytest.raises(LoadError, match="not loaded"):
+            kernel.rmmod("ghost")
+
+    def test_cross_module_linking(self, kernel):
+        a = compile_module(MODULE_A, CompileOptions(module_name="a", protect=False))
+        b = compile_module(MODULE_B, CompileOptions(module_name="b", protect=False))
+        kernel.insmod(a)
+        loaded_b = kernel.insmod(b)
+        assert kernel.run_function(loaded_b, "use_a", []) == 42
+
+    def test_unresolved_symbol_rejected(self, kernel):
+        b = compile_module(MODULE_B, CompileOptions(module_name="b", protect=False))
+        with pytest.raises(LoadError, match="unresolved symbol"):
+            kernel.insmod(b)  # module a absent
+
+    def test_refcount_blocks_rmmod(self, kernel):
+        a = compile_module(MODULE_A, CompileOptions(module_name="a", protect=False))
+        b = compile_module(MODULE_B, CompileOptions(module_name="b", protect=False))
+        kernel.insmod(a)
+        kernel.insmod(b)
+        with pytest.raises(LoadError, match="in use"):
+            kernel.rmmod("a")
+        kernel.rmmod("b")
+        kernel.rmmod("a")  # now fine
+
+    def test_init_module_runs_on_insmod(self, kernel):
+        src = """
+        extern int printk(char *fmt, ...);
+        long initialized;
+        __export int init_module(void) { initialized = 7; return 0; }
+        __export long check(void) { return initialized; }
+        """
+        loaded = kernel.insmod(
+            compile_module(src, CompileOptions(module_name="i", protect=False))
+        )
+        assert kernel.run_function(loaded, "check", []) == 7
+
+    def test_failing_init_aborts_load(self, kernel):
+        src = "__export int init_module(void) { return -1; }"
+        with pytest.raises(LoadError, match="init_module returned"):
+            kernel.insmod(
+                compile_module(src, CompileOptions(module_name="bad", protect=False))
+            )
+        assert kernel.lsmod() == []
+
+    def test_cleanup_module_runs_on_rmmod(self, kernel):
+        src = """
+        extern int printk(char *fmt, ...);
+        __export int cleanup_module(void) { printk("bye from cleanup"); return 0; }
+        __export int noop(void) { return 0; }
+        """
+        kernel.insmod(
+            compile_module(src, CompileOptions(module_name="c", protect=False))
+        )
+        kernel.rmmod("c")
+        assert any("bye from cleanup" in l for l in kernel.dmesg_log)
+
+    def test_globals_initialized(self, kernel):
+        src = """
+        long answer = 42;
+        int small = -7;
+        char msg[6] = "hey";
+        __export long get(void) { return answer; }
+        __export int get_small(void) { return small; }
+        __export int get_msg0(void) { return msg[0]; }
+        """
+        loaded = kernel.insmod(
+            compile_module(src, CompileOptions(module_name="g", protect=False))
+        )
+        assert kernel.run_function(loaded, "get", []) == 42
+        v = kernel.run_function(loaded, "get_small", [])
+        assert v - (1 << 32) == -7 or v == -7
+        assert kernel.run_function(loaded, "get_msg0", []) == ord("h")
+
+    def test_module_memory_unmapped_after_rmmod(self, kernel):
+        a = compile_module(MODULE_A, CompileOptions(module_name="a", protect=False))
+        loaded = kernel.insmod(a)
+        base = loaded.base
+        kernel.rmmod("a")
+        from repro.kernel import MemoryFault
+
+        with pytest.raises(MemoryFault):
+            kernel.address_space.read_bytes(base, 8)
+
+    def test_modules_get_disjoint_regions(self, kernel):
+        a = compile_module(MODULE_A, CompileOptions(module_name="a", protect=False))
+        b = compile_module(MODULE_B, CompileOptions(module_name="b", protect=False))
+        la = kernel.insmod(a)
+        lb = kernel.insmod(b)
+        assert la.base + la.size <= lb.base or lb.base + lb.size <= la.base
+
+
+class TestNatives:
+    def test_printk_formats(self, kernel, run_c):
+        src = r"""
+        extern int printk(char *fmt, ...);
+        __export int f(void) {
+            printk("int=%d hex=%x str=%s char=%c pct=%%", -5, 255, "ok", 'Z');
+            return 0;
+        }
+        """
+        run_c(src, "f")
+        assert any(
+            "int=-5 hex=ff str=ok char=Z pct=%" in l for l in kernel.dmesg_log
+        )
+
+    def test_memset_memcpy(self, kernel, run_c):
+        src = """
+        extern void *kmalloc(long size, int flags);
+        extern void *memset(void *d, int c, long n);
+        extern void *memcpy(void *d, void *s, long n);
+        __export int f(void) {
+            char *a = (char *)kmalloc(16, 0);
+            char *b = (char *)kmalloc(16, 0);
+            memset(a, 0x41, 16);
+            memcpy(b, a, 16);
+            return b[0] + b[15];
+        }
+        """
+        assert run_c(src, "f") == 0x41 * 2
+
+    def test_panic_native(self, kernel, run_c):
+        src = """
+        extern void panic(char *msg);
+        __export int f(void) { panic("module-triggered halt"); return 0; }
+        """
+        with pytest.raises(KernelPanic, match="module-triggered halt"):
+            run_c(src, "f")
+        assert kernel.panicked == "module-triggered halt"
+
+    def test_virt_phys_roundtrip(self, kernel, run_c):
+        src = """
+        extern void *kmalloc(long size, int flags);
+        extern long virt_to_phys(void *p);
+        extern long phys_to_virt(long phys);
+        __export int f(void) {
+            void *p = kmalloc(64, 0);
+            return phys_to_virt(virt_to_phys(p)) == (long)p;
+        }
+        """
+        assert run_c(src, "f") == 1
+
+    def test_msr_natives(self, kernel, run_c):
+        src = """
+        extern void wrmsr(int msr, long value);
+        extern long rdmsr(int msr);
+        __export long f(void) { wrmsr(0x10, 777); return rdmsr(0x10); }
+        """
+        assert run_c(src, "f") == 777
+        assert kernel.msr[0x10] == 777
+
+
+class TestChardev:
+    def test_unknown_device(self, kernel):
+        with pytest.raises(IoctlError) as e:
+            kernel.devices.ioctl("/dev/nope", 1)
+        assert e.value.errno == ENOENT
+
+    def test_register_requires_dev_prefix(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.devices.register("carat", object())
+
+    def test_dispatch(self, kernel):
+        class Dev:
+            def ioctl(self, cmd, arg, *, uid):
+                return bytes([cmd & 0xFF]) + arg
+
+        kernel.devices.register("/dev/t", Dev())
+        assert kernel.devices.ioctl("/dev/t", 7, b"x") == b"\x07x"
+        assert kernel.devices.paths() == ["/dev/t"]
+
+    def test_unregister(self, kernel):
+        class Dev:
+            def ioctl(self, cmd, arg, *, uid):
+                return b""
+
+        kernel.devices.register("/dev/t", Dev())
+        kernel.devices.unregister("/dev/t")
+        with pytest.raises(IoctlError):
+            kernel.devices.ioctl("/dev/t", 0)

@@ -1,0 +1,189 @@
+"""Physical memory and address-space tests."""
+
+import pytest
+
+from repro.kernel import KernelAddressSpace, MemoryFault, PhysicalMemory, layout
+
+
+@pytest.fixture()
+def ram():
+    return PhysicalMemory(16 << 20)
+
+
+@pytest.fixture()
+def space(ram):
+    return KernelAddressSpace(ram)
+
+
+class TestPhysicalMemory:
+    def test_zero_initialized(self, ram):
+        assert ram.read(0x1234, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self, ram):
+        ram.write(0x1000, b"hello world")
+        assert ram.read(0x1000, 11) == b"hello world"
+
+    def test_cross_page_write(self, ram):
+        addr = layout.PAGE_SIZE - 3
+        ram.write(addr, b"ABCDEFGH")
+        assert ram.read(addr, 8) == b"ABCDEFGH"
+
+    def test_sparse_residency(self, ram):
+        assert ram.resident_bytes == 0
+        ram.write(5 * layout.PAGE_SIZE, b"x")
+        assert ram.resident_bytes == layout.PAGE_SIZE
+
+    def test_reads_do_not_materialize_pages(self, ram):
+        ram.read(0, 4096)
+        assert ram.resident_bytes == 0
+
+    def test_out_of_range_rejected(self, ram):
+        with pytest.raises(MemoryFault):
+            ram.read(ram.size - 4, 8)
+        with pytest.raises(MemoryFault):
+            ram.write(ram.size, b"x")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(1000)  # not page multiple
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+
+class TestDirectMap:
+    def test_direct_map_aliases_ram(self, space, ram):
+        ram.write(0x2000, b"paint")
+        virt = layout.direct_map_address(0x2000)
+        assert space.read_bytes(virt, 5) == b"paint"
+
+    def test_write_through_direct_map(self, space, ram):
+        virt = layout.direct_map_address(0x3000)
+        space.write_bytes(virt, b"kernel")
+        assert ram.read(0x3000, 6) == b"kernel"
+
+    def test_direct_map_bounds(self, space, ram):
+        with pytest.raises(MemoryFault):
+            space.read_bytes(layout.direct_map_address(ram.size), 1)
+
+
+class TestMappings:
+    def test_unmapped_address_faults(self, space):
+        with pytest.raises(MemoryFault, match="no mapping"):
+            space.read_bytes(0xDEAD0000, 4)
+        with pytest.raises(MemoryFault):
+            space.write_bytes(0x1000, b"x")  # user half unmapped in kernel
+
+    def test_linear_mapping(self, space):
+        base = 0xFFFF_C000_0000_0000
+        space.map_linear(base, layout.PAGE_SIZE, phys_base=0x4000, name="win")
+        space.write_bytes(base + 8, b"zz")
+        assert space.ram.read(0x4008, 2) == b"zz"
+
+    def test_overlapping_mapping_rejected(self, space):
+        base = 0xFFFF_C000_0000_0000
+        space.map_linear(base, 2 * layout.PAGE_SIZE, 0, "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            space.map_linear(base + layout.PAGE_SIZE, layout.PAGE_SIZE, 0, "b")
+
+    def test_unmap(self, space):
+        base = 0xFFFF_C000_0000_0000
+        space.map_linear(base, layout.PAGE_SIZE, 0, "tmp")
+        space.unmap(base)
+        with pytest.raises(MemoryFault):
+            space.read_bytes(base, 1)
+        with pytest.raises(KeyError):
+            space.unmap(base)
+
+    def test_read_only_mapping(self, space):
+        base = 0xFFFF_C000_0000_0000
+        space.map_linear(base, layout.PAGE_SIZE, 0, "ro", writable=False)
+        space.read_bytes(base, 4)
+        with pytest.raises(MemoryFault, match="read-only"):
+            space.write_bytes(base, b"x")
+
+    def test_access_straddling_mapping_end_faults(self, space):
+        base = 0xFFFF_C000_0000_0000
+        space.map_linear(base, layout.PAGE_SIZE, 0, "small")
+        with pytest.raises(MemoryFault):
+            space.read_bytes(base + layout.PAGE_SIZE - 2, 4)
+
+    def test_find(self, space):
+        m = space.find(layout.DIRECT_MAP_BASE + 100)
+        assert m is not None and m.name == "direct-map"
+        assert space.find(0x10) is None
+
+
+class _Device:
+    def __init__(self):
+        self.reads = []
+        self.writes = []
+        self.regs = {0: 0xCAFEBABE}
+
+    def mmio_read(self, offset, size):
+        self.reads.append((offset, size))
+        return self.regs.get(offset, 0)
+
+    def mmio_write(self, offset, size, value):
+        self.writes.append((offset, size, value))
+        self.regs[offset] = value
+
+
+class TestMMIO:
+    def test_mmio_read_dispatches_to_device(self, space):
+        dev = _Device()
+        base = 0xFFFF_C900_0000_0000
+        space.map_mmio(base, 0x1000, dev, "nic")
+        assert space.read_int(base, 4) == 0xCAFEBABE
+        assert dev.reads == [(0, 4)]
+
+    def test_mmio_write_dispatches(self, space):
+        dev = _Device()
+        base = 0xFFFF_C900_0000_0000
+        space.map_mmio(base, 0x1000, dev, "nic")
+        space.write_int(base + 0x10, 4, 0x1234)
+        assert dev.writes == [(0x10, 4, 0x1234)]
+        assert space.read_int(base + 0x10, 4) == 0x1234
+
+
+class TestTypedAccess:
+    def test_little_endian_ints(self, space):
+        virt = layout.direct_map_address(0x100)
+        space.write_int(virt, 4, 0x11223344)
+        assert space.read_bytes(virt, 4) == b"\x44\x33\x22\x11"
+        assert space.read_int(virt, 4) == 0x11223344
+
+    def test_int_write_masks_to_size(self, space):
+        virt = layout.direct_map_address(0x100)
+        space.write_int(virt, 2, 0x12345678)
+        assert space.read_int(virt, 2) == 0x5678
+
+    def test_floats(self, space):
+        virt = layout.direct_map_address(0x200)
+        space.write_f64(virt, 3.14159)
+        assert space.read_f64(virt) == pytest.approx(3.14159)
+        space.write_f32(virt, 2.5)
+        assert space.read_f32(virt) == 2.5
+
+    def test_cstring(self, space):
+        virt = layout.direct_map_address(0x300)
+        space.write_bytes(virt, b"hello\x00world")
+        assert space.read_cstring(virt) == b"hello"
+
+    def test_cstring_max_len(self, space):
+        virt = layout.direct_map_address(0x400)
+        space.write_bytes(virt, b"a" * 100)
+        assert len(space.read_cstring(virt, max_len=10)) == 10
+
+
+class TestLayoutHelpers:
+    def test_half_space_predicates(self):
+        assert layout.is_user_address(0x1000)
+        assert not layout.is_user_address(layout.KERNEL_SPACE_START)
+        assert layout.is_kernel_address(layout.DIRECT_MAP_BASE)
+
+    def test_page_align(self):
+        assert layout.page_align_up(1) == layout.PAGE_SIZE
+        assert layout.page_align_up(layout.PAGE_SIZE) == layout.PAGE_SIZE
+
+    def test_direct_map_inverse(self):
+        assert layout.direct_map_to_phys(layout.direct_map_address(12345)) == 12345

@@ -1,0 +1,62 @@
+"""/proc introspection tests."""
+
+import pytest
+
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.net import make_test_frame
+
+
+@pytest.fixture()
+def system():
+    return CaratKopSystem(SystemConfig(machine=None, protect=True))
+
+
+class TestProc:
+    def test_modules_lists_driver(self, system):
+        text = system.kernel.proc.read("/proc/modules")
+        assert "e1000e" in text
+        assert "protected" in text
+        assert "guards=" in text
+
+    def test_interrupts_after_enable(self, system):
+        system.netdev.enable_interrupts()
+        system.netdev.inject_rx(make_test_frame(64, 0))
+        text = system.kernel.proc.read("/proc/interrupts")
+        assert "e1000e" in text
+        line = [l for l in text.splitlines() if "e1000e" in l][0]
+        assert " 1 " in line or line.split()[1] == "1"
+
+    def test_meminfo_tracks_kmalloc(self, system):
+        before = system.kernel.proc.read("/proc/meminfo")
+        addr = system.kernel.kmalloc_allocator.kmalloc(4096)
+        after = system.kernel.proc.read("/proc/meminfo")
+        assert before != after
+        assert "KmallocLive" in after
+
+    def test_devices_lists_carat(self, system):
+        assert "/dev/carat" in system.kernel.proc.read("/proc/devices")
+
+    def test_carat_policy_dump(self, system):
+        system.blast(size=128, count=5)
+        text = system.kernel.proc.read("/proc/carat")
+        assert "index: linear-table" in text
+        assert "enforce: on" in text
+        assert "checks:" in text
+        assert "default DENY" in text
+        assert "call_policy: allow-all" in text
+
+    def test_carat_without_policy_module(self, kernel):
+        assert "no policy module" in kernel.proc.read("/proc/carat")
+
+    def test_unknown_path(self, system):
+        with pytest.raises(FileNotFoundError):
+            system.kernel.proc.read("/proc/nope")
+
+    def test_paths(self, system):
+        assert "/proc/carat" in system.kernel.proc.paths()
+
+    def test_call_allowlist_shown(self, system):
+        system.policy_manager.set_call_allowlist(True)
+        system.policy_manager.allow_call("kmalloc")
+        text = system.kernel.proc.read("/proc/carat")
+        assert "allowlist(1)" in text

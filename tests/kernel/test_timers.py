@@ -1,0 +1,176 @@
+"""Timer-wheel tests + the heartbeat workload module."""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.kernel import KernelPanic
+
+HEARTBEAT_MODULE = r"""
+extern void *kmalloc(long size, int flags);
+extern long mod_timer(char *handler, long delay_us, long arg);
+extern long del_timer(long timer_id);
+extern long time_us(void);
+extern int printk(char *fmt, ...);
+
+enum { RING_SLOTS = 32 };
+
+long *stamp_ring;
+long beats;
+long period_us;
+long armed_timer;
+int  stopping;
+
+/* The timer handler: record a timestamp, re-arm for the next beat. */
+__export void hb_tick(long arg) {
+    long slot = beats % RING_SLOTS;
+    stamp_ring[slot] = time_us();
+    beats += 1;
+    if (!stopping) {
+        armed_timer = mod_timer("hb_tick", period_us, arg);
+    }
+}
+
+__export int hb_start(long period) {
+    stamp_ring = (long *)kmalloc(RING_SLOTS * 8, 0);
+    if (stamp_ring == null) { return -1; }
+    for (int i = 0; i < RING_SLOTS; i++) { stamp_ring[i] = 0; }
+    beats = 0;
+    stopping = 0;
+    period_us = period;
+    armed_timer = mod_timer("hb_tick", period, 0);
+    return armed_timer > 0 ? 0 : -1;
+}
+
+__export int hb_stop(void) {
+    stopping = 1;
+    del_timer(armed_timer);
+    return 0;
+}
+
+__export long hb_beats(void) { return beats; }
+__export long hb_stamp(int slot) { return stamp_ring[slot]; }
+"""
+
+
+@pytest.fixture()
+def hb_system():
+    system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+    compiled = compile_module(
+        HEARTBEAT_MODULE,
+        CompileOptions(module_name="heartbeat", key=system.signing_key),
+    )
+    loaded = system.kernel.insmod(compiled)
+    return system, loaded
+
+
+class TestTimerWheel:
+    def test_timer_fires_after_delay(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        assert kernel.run_function(loaded, "hb_start", [1000]) == 0
+        assert kernel.run_function(loaded, "hb_beats", []) == 0
+        kernel.advance_time(999)
+        assert kernel.run_function(loaded, "hb_beats", []) == 0
+        kernel.advance_time(2)
+        assert kernel.run_function(loaded, "hb_beats", []) == 1
+
+    def test_rearm_produces_steady_beats(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        kernel.run_function(loaded, "hb_start", [100])
+        for _ in range(10):
+            kernel.advance_time(100)
+        beats = kernel.run_function(loaded, "hb_beats", [])
+        assert beats == 10
+
+    def test_one_advance_fires_all_due_beats(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        kernel.run_function(loaded, "hb_start", [100])
+        # A single big advance only fires timers due at its end: the
+        # handler's re-arm lands in the future relative to 'now'.
+        kernel.advance_time(1000)
+        assert kernel.run_function(loaded, "hb_beats", []) == 1
+
+    def test_stop_cancels(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        kernel.run_function(loaded, "hb_start", [100])
+        kernel.advance_time(100)
+        kernel.run_function(loaded, "hb_stop", [])
+        kernel.advance_time(1000)
+        assert kernel.run_function(loaded, "hb_beats", []) == 1
+        assert kernel.timers.pending() == 0
+
+    def test_timestamps_recorded_under_guards(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        checks_before = system.guard_stats()["checks"]
+        kernel.run_function(loaded, "hb_start", [50])
+        for _ in range(5):
+            kernel.advance_time(50)
+        assert system.guard_stats()["checks"] > checks_before
+        stamps = [
+            kernel.run_function(loaded, "hb_stamp", [i]) for i in range(5)
+        ]
+        assert stamps == sorted(stamps)
+        assert stamps[0] > 0
+
+    def test_rmmod_releases_timers(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        kernel.run_function(loaded, "hb_start", [100])
+        kernel.rmmod("heartbeat")
+        assert kernel.timers.pending() == 0
+        kernel.advance_time(1000)  # nothing fires, nothing crashes
+
+    def test_timer_policy_violation_panics(self, hb_system):
+        """A heartbeat whose ring the operator firewalled: the very first
+        tick dies inside the handler."""
+        system, loaded = hb_system
+        kernel = system.kernel
+        kernel.run_function(loaded, "hb_start", [100])
+        ring = kernel.run_function(loaded, "hb_stamp", [0])  # warm read ok
+        # Deny the module its stamp ring (simulating a policy mistake,
+        # cause (1) of §3.1's three).
+        mgr = system.policy_manager
+        mgr.clear()
+        mgr.set_default(False)
+        with pytest.raises(KernelPanic):
+            kernel.advance_time(100)
+
+    def test_unknown_handler_rejected_via_native(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        bad = compile_module(
+            """
+            extern long mod_timer(char *handler, long delay_us, long arg);
+            __export long f(void) { return mod_timer("ghost", 10, 0); }
+            """,
+            CompileOptions(module_name="badtimer", key=system.signing_key),
+        )
+        lb = kernel.insmod(bad)
+        rc = kernel.run_function(lb, "f", [])
+        assert rc == (1 << 64) - 1  # -1: rejected
+        assert any("mod_timer failed" in l for l in kernel.dmesg_log)
+
+    def test_del_timer_unknown_id(self, hb_system):
+        system, _ = hb_system
+        assert system.kernel.timers.del_timer(9999) is False
+
+    def test_time_advances_with_machine_clock(self):
+        system = CaratKopSystem(SystemConfig(machine="r350", protect=True))
+        t0 = system.kernel.time_us()
+        system.blast(size=128, count=50)
+        t1 = system.kernel.time_us()
+        assert t1 > t0
+        # 50 packets at ~115kpps is ~435us of simulated time.
+        assert 200 < (t1 - t0) < 2000
+
+    def test_timer_storm_watchdog(self, hb_system):
+        system, loaded = hb_system
+        kernel = system.kernel
+        kernel.run_function(loaded, "hb_start", [0])  # zero period!
+        kernel.advance_time(10)
+        assert any("timer storm" in l for l in kernel.dmesg_log)

@@ -1,0 +1,503 @@
+"""Execution tests: compile mini-C, run it on the VM, check C semantics.
+
+These are end-to-end front-end tests — the most valuable kind for a
+compiler: the observable behaviour of the generated code must match C.
+"""
+
+import pytest
+
+
+class TestArithmetic:
+    def test_basic_ops(self, run_c):
+        src = "__export long f(long a, long b) { return a * b + a - b; }"
+        assert run_c(src, "f", 7, 3) == 7 * 3 + 7 - 3
+
+    def test_signed_division_truncates_toward_zero(self, run_c):
+        src = "__export long f(long a, long b) { return a / b; }"
+        assert run_c(src, "f", 7, 2) == 3
+        assert run_c(src, "f", (-7) % (1 << 64), 2) == -3
+        assert run_c(src, "f", 7, (-2) % (1 << 64)) == -3
+
+    def test_signed_modulo_sign_follows_dividend(self, run_c):
+        src = "__export long f(long a, long b) { return a % b; }"
+        assert run_c(src, "f", 7, 3) == 1
+        assert run_c(src, "f", (-7) % (1 << 64), 3) == -1
+
+    def test_unsigned_division(self, run_c):
+        src = (
+            "__export unsigned long f(unsigned long a, unsigned long b)"
+            "{ return a / b; }"
+        )
+        big = (1 << 64) - 8
+        assert run_c(src, "f", big, 2, signed_bits=0) == big // 2
+
+    def test_int32_wraparound(self, run_c):
+        src = "__export int f(int a) { return a + 1; }"
+        assert run_c(src, "f", 0x7FFFFFFF, signed_bits=32) == -0x80000000
+
+    def test_shifts(self, run_c):
+        src = "__export long f(long a, long b) { return (a << b) | (a >> b); }"
+        assert run_c(src, "f", 8, 2) == (8 << 2) | (8 >> 2)
+
+    def test_arithmetic_shift_right_signed(self, run_c):
+        src = "__export int f(int a) { return a >> 1; }"
+        assert run_c(src, "f", (-8) % (1 << 32), signed_bits=32) == -4
+
+    def test_logical_shift_right_unsigned(self, run_c):
+        src = "__export unsigned int f(unsigned int a) { return a >> 1; }"
+        assert run_c(src, "f", 0x80000000, signed_bits=0) == 0x40000000
+
+    def test_bitwise_ops(self, run_c):
+        src = "__export long f(long a, long b) { return (a & b) ^ (a | b); }"
+        assert run_c(src, "f", 0b1100, 0b1010) == (0b1100 & 0b1010) ^ (0b1100 | 0b1010)
+
+    def test_unary_minus_and_complement(self, run_c):
+        src = "__export long f(long a) { return -a + ~a; }"
+        assert run_c(src, "f", 5) == -5 + ~5
+
+    def test_char_promotion(self, run_c):
+        src = "__export int f(void) { char c = 200; return c; }"
+        # char is signed: 200 wraps to -56
+        assert run_c(src, "f", signed_bits=32) == -56
+
+    def test_unsigned_char(self, run_c):
+        src = "__export int f(void) { unsigned char c = 200; return c; }"
+        assert run_c(src, "f", signed_bits=32) == 200
+
+    def test_unsigned_comparison(self, run_c):
+        src = (
+            "__export int f(unsigned int a, unsigned int b) { return a < b; }"
+        )
+        assert run_c(src, "f", 0xFFFFFFFF, 1) == 0  # unsigned: huge > 1
+
+    def test_signed_comparison(self, run_c):
+        src = "__export int f(int a, int b) { return a < b; }"
+        assert run_c(src, "f", (-1) % (1 << 32), 1) == 1
+
+
+class TestControlFlow:
+    def test_if_else_chain(self, run_c):
+        src = """
+        __export int grade(int score) {
+            if (score >= 90) return 4;
+            else if (score >= 80) return 3;
+            else if (score >= 70) return 2;
+            return 0;
+        }
+        """
+        assert run_c(src, "grade", 95) == 4
+        assert run_c(src, "grade", 85) == 3
+        assert run_c(src, "grade", 75) == 2
+        assert run_c(src, "grade", 10) == 0
+
+    def test_while_loop(self, run_c):
+        src = """
+        __export long sum_to(long n) {
+            long s = 0;
+            long i = 1;
+            while (i <= n) { s += i; i++; }
+            return s;
+        }
+        """
+        assert run_c(src, "sum_to", 100) == 5050
+
+    def test_do_while_runs_once(self, run_c):
+        src = """
+        __export int f(void) {
+            int n = 0;
+            do { n++; } while (0);
+            return n;
+        }
+        """
+        assert run_c(src, "f") == 1
+
+    def test_for_with_break_continue(self, run_c):
+        src = """
+        __export long f(void) {
+            long acc = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                acc += i;
+            }
+            return acc;
+        }
+        """
+        assert run_c(src, "f") == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loops(self, run_c):
+        src = """
+        __export long f(int n) {
+            long acc = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    acc += i * j;
+            return acc;
+        }
+        """
+        n = 6
+        assert run_c(src, "f", n) == sum(i * j for i in range(n) for j in range(n))
+
+    def test_switch_with_fallthrough(self, run_c):
+        src = """
+        __export int f(int x) {
+            int r = 0;
+            switch (x) {
+                case 1:
+                    r += 1;      /* falls through */
+                case 2:
+                    r += 2;
+                    break;
+                case 3:
+                    r = 30;
+                    break;
+                default:
+                    r = -1;
+                    break;
+            }
+            return r;
+        }
+        """
+        assert run_c(src, "f", 1, signed_bits=32) == 3  # fallthrough 1->2
+        assert run_c(src, "f", 2, signed_bits=32) == 2
+        assert run_c(src, "f", 3, signed_bits=32) == 30
+        assert run_c(src, "f", 9, signed_bits=32) == -1
+
+    def test_short_circuit_and(self, run_c):
+        src = """
+        int calls;
+        static int bump(void) { calls++; return 0; }
+        __export int f(int x) { calls = 0; return (x != 0) && bump(); }
+        __export int count(void) { return calls; }
+        """
+        assert run_c(src, "f", 0) == 0
+        assert run_c(src, "count") == 0  # rhs never evaluated
+        assert run_c(src, "f", 1) == 0
+        assert run_c(src, "count") == 1
+
+    def test_short_circuit_or(self, run_c):
+        src = """
+        int calls2;
+        static int bump(void) { calls2++; return 1; }
+        __export int f(int x) { calls2 = 0; return (x != 0) || bump(); }
+        __export int count(void) { return calls2; }
+        """
+        assert run_c(src, "f", 5) == 1
+        assert run_c(src, "count") == 0
+        assert run_c(src, "f", 0) == 1
+        assert run_c(src, "count") == 1
+
+    def test_ternary(self, run_c):
+        src = "__export long f(long a, long b) { return a > b ? a : b; }"
+        assert run_c(src, "f", 3, 9) == 9
+        assert run_c(src, "f", 9, 3) == 9
+
+    def test_recursion(self, run_c):
+        src = """
+        __export long fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        """
+        assert run_c(src, "fib", 15) == 610
+
+
+class TestPointersArrays:
+    def test_local_array_sum(self, run_c):
+        src = """
+        __export long f(void) {
+            long xs[8];
+            for (int i = 0; i < 8; i++) xs[i] = i * i;
+            long s = 0;
+            for (int i = 0; i < 8; i++) s += xs[i];
+            return s;
+        }
+        """
+        assert run_c(src, "f") == sum(i * i for i in range(8))
+
+    def test_pointer_arithmetic(self, run_c):
+        src = """
+        __export long f(void) {
+            long xs[4];
+            long *p = xs;
+            *p = 10; *(p + 1) = 20; p += 2; *p = 30; p++; *p = 40;
+            return xs[0] + xs[1] + xs[2] + xs[3];
+        }
+        """
+        assert run_c(src, "f") == 100
+
+    def test_pointer_difference(self, run_c):
+        src = """
+        __export long f(void) {
+            int xs[10];
+            int *a = &xs[2];
+            int *b = &xs[9];
+            return b - a;
+        }
+        """
+        assert run_c(src, "f") == 7
+
+    def test_address_of_and_deref(self, run_c):
+        src = """
+        __export int f(void) {
+            int x = 5;
+            int *p = &x;
+            *p = 42;
+            return x;
+        }
+        """
+        assert run_c(src, "f") == 42
+
+    def test_pointer_to_pointer(self, run_c):
+        src = """
+        __export int f(void) {
+            int x = 1;
+            int *p = &x;
+            int **pp = &p;
+            **pp = 99;
+            return x;
+        }
+        """
+        assert run_c(src, "f") == 99
+
+    def test_global_array(self, run_c):
+        src = """
+        int table[4];
+        __export int f(int i, int v) { table[i] = v; return table[i]; }
+        __export int get(int i) { return table[i]; }
+        """
+        assert run_c(src, "f", 2, 77) == 77
+        assert run_c(src, "get", 2) == 77
+        assert run_c(src, "get", 0) == 0  # zero-initialized
+
+    def test_char_array_string_init(self, run_c):
+        src = """
+        __export int f(void) {
+            char buf[8] = "abc";
+            return buf[0] + buf[1] + buf[2] + buf[3];
+        }
+        """
+        assert run_c(src, "f") == ord("a") + ord("b") + ord("c")
+
+    def test_string_literal_pointer(self, run_c):
+        src = """
+        __export int f(void) {
+            char *s = "xyz";
+            return s[0] + s[2];
+        }
+        """
+        assert run_c(src, "f") == ord("x") + ord("z")
+
+    def test_null_checks(self, run_c):
+        src = """
+        __export int f(int use) {
+            int x = 7;
+            int *p = null;
+            if (use) p = &x;
+            if (p == null) return -1;
+            return *p;
+        }
+        """
+        assert run_c(src, "f", 1) == 7
+        assert run_c(src, "f", 0, signed_bits=32) == -1
+
+    def test_mixed_width_loads_stores(self, run_c):
+        src = """
+        __export long f(void) {
+            long x = 0;
+            char *bytes = (char *)&x;
+            bytes[0] = 0x11;
+            bytes[7] = 0x22;
+            return x;
+        }
+        """
+        assert run_c(src, "f", signed_bits=0) == (0x22 << 56) | 0x11
+
+
+class TestStructs:
+    def test_struct_fields(self, run_c):
+        src = """
+        struct point { int x; int y; };
+        __export int f(void) {
+            struct point p;
+            p.x = 3; p.y = 4;
+            return p.x * p.x + p.y * p.y;
+        }
+        """
+        assert run_c(src, "f") == 25
+
+    def test_struct_pointer_arrow(self, run_c):
+        src = """
+        struct point { int x; int y; };
+        static void flip(struct point *p) {
+            int t = p->x; p->x = p->y; p->y = t;
+        }
+        __export int f(void) {
+            struct point p;
+            p.x = 1; p.y = 9;
+            flip(&p);
+            return p.x * 10 + p.y;
+        }
+        """
+        assert run_c(src, "f") == 91
+
+    def test_nested_struct_by_value(self, run_c):
+        src = """
+        struct inner { int a; long b; };
+        struct outer { int tag; struct inner in; };
+        __export long f(void) {
+            struct outer o;
+            o.tag = 1;
+            o.in.a = 10;
+            o.in.b = 20;
+            return o.tag + o.in.a + o.in.b;
+        }
+        """
+        assert run_c(src, "f") == 31
+
+    def test_linked_list_via_self_pointer(self, run_c):
+        src = """
+        extern void *kmalloc(long size, int flags);
+        struct node { long value; struct node *next; };
+        __export long f(int n) {
+            struct node *head = null;
+            for (int i = 0; i < n; i++) {
+                struct node *nd = (struct node *)kmalloc(16, 0);
+                nd->value = i;
+                nd->next = head;
+                head = nd;
+            }
+            long s = 0;
+            while (head != null) { s += head->value; head = head->next; }
+            return s;
+        }
+        """
+        assert run_c(src, "f", 10) == sum(range(10))
+
+    def test_array_of_structs(self, run_c):
+        src = """
+        struct entry { int k; int v; };
+        struct entry table[4];
+        __export int f(void) {
+            for (int i = 0; i < 4; i++) { table[i].k = i; table[i].v = i * 10; }
+            return table[3].k + table[3].v;
+        }
+        """
+        assert run_c(src, "f") == 33
+
+    def test_sizeof_struct_with_padding(self, run_c):
+        src = """
+        struct padded { char c; long x; };
+        __export long f(void) { return sizeof(struct padded); }
+        """
+        assert run_c(src, "f") == 16
+
+
+class TestMisc:
+    def test_sizeof_types(self, run_c):
+        src = """
+        __export long f(void) {
+            return sizeof(char) + sizeof(short) * 10 + sizeof(int) * 100
+                 + sizeof(long) * 1000 + sizeof(void *) * 10000;
+        }
+        """
+        assert run_c(src, "f") == 1 + 20 + 400 + 8000 + 80000
+
+    def test_compound_assignment_ops(self, run_c):
+        src = """
+        __export long f(long x) {
+            x += 3; x -= 1; x *= 4; x /= 2; x %= 100;
+            x <<= 1; x >>= 1; x |= 8; x &= 0xFF; x ^= 1;
+            return x;
+        }
+        """
+        x = 10
+        x += 3; x -= 1; x *= 4; x //= 2; x %= 100
+        x <<= 1; x >>= 1; x |= 8; x &= 0xFF; x ^= 1
+        assert run_c(src, "f", 10) == x
+
+    def test_pre_post_increment_values(self, run_c):
+        src = """
+        __export int f(void) {
+            int i = 5;
+            int a = i++;
+            int b = ++i;
+            return a * 100 + b * 10 + i;
+        }
+        """
+        assert run_c(src, "f") == 5 * 100 + 7 * 10 + 7
+
+    def test_double_arithmetic(self, run_c):
+        src = """
+        __export int f(void) {
+            double x = 1.5;
+            double y = 2.25;
+            double z = x * y + 0.75;
+            if (z > 4.1 && z < 4.2) return 1;
+            return 0;
+        }
+        """
+        assert run_c(src, "f") == 1
+
+    def test_float_to_int_conversion(self, run_c):
+        src = """
+        __export int f(void) {
+            double d = 3.99;
+            return (int)d;
+        }
+        """
+        assert run_c(src, "f") == 3
+
+    def test_int_to_float_conversion(self, run_c):
+        src = """
+        __export int f(int a) {
+            double d = a;
+            d = d / 2.0;
+            return (int)(d * 10.0);
+        }
+        """
+        assert run_c(src, "f", 7) == 35
+
+    def test_comma_operator(self, run_c):
+        src = "__export int f(void) { int a = 0; int b = (a = 5, a + 1); return b; }"
+        assert run_c(src, "f") == 6
+
+    def test_function_call_chain(self, run_c):
+        src = """
+        static int double_it(int x) { return x * 2; }
+        static int add3(int x) { return x + 3; }
+        __export int f(int x) { return double_it(add3(double_it(x))); }
+        """
+        assert run_c(src, "f", 5) == (5 * 2 + 3) * 2
+
+    def test_static_global_isolated(self, run_c):
+        src = """
+        static long counter;
+        __export long bump(void) { counter += 1; return counter; }
+        """
+        assert run_c(src, "bump") == 1
+        assert run_c(src, "bump") == 2
+
+    def test_hex_char_enum_constants(self, run_c):
+        src = """
+        enum { MASK = 0xF0, BIT = 1 << 3 };
+        __export int f(void) { return (MASK | BIT) + 'A'; }
+        """
+        assert run_c(src, "f") == (0xF0 | 8) + 65
+
+    def test_early_return_dead_code_dropped(self, run_c):
+        src = """
+        __export int f(void) {
+            return 1;
+            return 2;
+        }
+        """
+        assert run_c(src, "f") == 1
+
+    def test_void_function(self, run_c):
+        src = """
+        int flag;
+        static void set_flag(void) { flag = 1; }
+        __export int f(void) { set_flag(); return flag; }
+        """
+        assert run_c(src, "f") == 1

@@ -1,0 +1,258 @@
+"""Additional execution breadth: C idioms the driver-class code relies on."""
+
+import pytest
+
+
+class TestPointerIdioms:
+    def test_pointer_truthiness(self, run_c):
+        src = """
+        __export int f(int use) {
+            int x = 9;
+            int *p = null;
+            if (use) { p = &x; }
+            if (p) { return *p; }
+            return -1;
+        }
+        """
+        assert run_c(src, "f", 1) == 9
+        assert run_c(src, "f", 0, signed_bits=32) == -1
+
+    def test_ternary_over_pointers(self, run_c):
+        src = """
+        __export int f(int which) {
+            int a = 1;
+            int b = 2;
+            int *p = which ? &a : &b;
+            return *p;
+        }
+        """
+        assert run_c(src, "f", 1) == 1
+        assert run_c(src, "f", 0) == 2
+
+    def test_pointer_walk_with_compare(self, run_c):
+        src = """
+        __export long f(void) {
+            long xs[6];
+            for (int i = 0; i < 6; i++) { xs[i] = i + 1; }
+            long s = 0;
+            long *end = xs + 6;
+            for (long *p = xs; p < end; p++) { s += *p; }
+            return s;
+        }
+        """
+        assert run_c(src, "f") == 21
+
+    def test_void_pointer_passthrough(self, run_c):
+        src = """
+        static void *identity(void *p) { return p; }
+        __export int f(void) {
+            int x = 31;
+            int *q = (int *)identity(&x);
+            return *q;
+        }
+        """
+        assert run_c(src, "f") == 31
+
+    def test_char_pointer_strlen_idiom(self, run_c):
+        src = """
+        __export int f(void) {
+            char *s = "hello world";
+            int n = 0;
+            while (s[n]) { n++; }
+            return n;
+        }
+        """
+        assert run_c(src, "f") == 11
+
+    def test_byte_swab_through_casts(self, run_c):
+        src = """
+        __export long f(void) {
+            long v = 0x1122334455667788;
+            unsigned char *b = (unsigned char *)&v;
+            unsigned char t = b[0]; b[0] = b[7]; b[7] = t;
+            return v;
+        }
+        """
+        assert run_c(src, "f", signed_bits=0) == 0x8822334455667711
+
+
+class TestArithmeticEdges:
+    def test_unsigned_wraparound_loop(self, run_c):
+        src = """
+        __export int f(void) {
+            unsigned char i = 250;
+            int steps = 0;
+            while (i != 4) { i++; steps++; }
+            return steps;   /* wraps 250..255,0..4 */
+        }
+        """
+        assert run_c(src, "f") == 10
+
+    def test_mixed_width_compare(self, run_c):
+        src = """
+        __export int f(void) {
+            unsigned short small = 0xFFFF;
+            long big = 0xFFFF;
+            return small == big;
+        }
+        """
+        assert run_c(src, "f") == 1
+
+    def test_sizeof_expressions(self, run_c):
+        src = """
+        struct wide { long a; long b; char c; };
+        struct wide g;
+        __export long f(void) {
+            long *p = &g.a;
+            return sizeof(g) * 100 + sizeof(g.a) * 10 + sizeof(*p);
+        }
+        """
+        assert run_c(src, "f") == 24 * 100 + 8 * 10 + 8
+
+    def test_modulo_in_ring_index(self, run_c):
+        src = """
+        __export int f(int i, int n) { return (i + 1) % n; }
+        """
+        assert run_c(src, "f", 255, 256) == 0
+        assert run_c(src, "f", 10, 256) == 11
+
+    def test_bitfield_style_packing(self, run_c):
+        src = """
+        __export int f(int cmd, int flags) {
+            int word = (cmd & 0xFF) | ((flags & 0xF) << 8);
+            return (word >> 8) & 0xF;
+        }
+        """
+        assert run_c(src, "f", 0x41, 0x9) == 0x9
+
+    def test_do_while_with_continue(self, run_c):
+        src = """
+        __export int f(void) {
+            int i = 0;
+            int taken = 0;
+            do {
+                i++;
+                if (i % 2) { continue; }
+                taken++;
+            } while (i < 10);
+            return taken;
+        }
+        """
+        assert run_c(src, "f") == 5
+
+    def test_switch_on_char(self, run_c):
+        src = """
+        __export int f(int c) {
+            switch (c) {
+                case 'a': return 1;
+                case 'z': return 26;
+                default: return 0;
+            }
+        }
+        """
+        assert run_c(src, "f", ord("a")) == 1
+        assert run_c(src, "f", ord("z")) == 26
+        assert run_c(src, "f", ord("q")) == 0
+
+    def test_deeply_nested_expression(self, run_c):
+        src = """
+        __export long f(long x) {
+            return ((((x + 1) * 2 - 3) | 4) ^ 5) & 0xFFFF;
+        }
+        """
+        x = 77
+        assert run_c(src, "f", x) == ((((x + 1) * 2 - 3) | 4) ^ 5) & 0xFFFF
+
+
+class TestStructsAdvanced:
+    def test_array_of_struct_pointers_via_i64(self, run_c):
+        src = """
+        extern void *kmalloc(long size, int flags);
+        struct item { long v; };
+        struct item *slots[4];
+        __export long f(void) {
+            for (int i = 0; i < 4; i++) {
+                slots[i] = (struct item *)kmalloc(8, 0);
+                slots[i]->v = (long)i * 11;
+            }
+            long s = 0;
+            for (int i = 0; i < 4; i++) { s += slots[i]->v; }
+            return s;
+        }
+        """
+        assert run_c(src, "f") == 0 + 11 + 22 + 33
+
+    def test_struct_field_pointer_passed_out(self, run_c):
+        src = """
+        struct pair { long a; long b; };
+        static long *second(struct pair *p) { return &p->b; }
+        __export long f(void) {
+            struct pair p;
+            p.a = 5;
+            *second(&p) = 6;
+            return p.a * 10 + p.b;
+        }
+        """
+        assert run_c(src, "f") == 56
+
+    def test_struct_array_inside_struct(self, run_c):
+        src = """
+        struct ring { int head; int slots[4]; };
+        struct ring r;
+        __export int f(void) {
+            r.head = 2;
+            for (int i = 0; i < 4; i++) { r.slots[i] = i * 3; }
+            return r.slots[r.head];
+        }
+        """
+        assert run_c(src, "f") == 6
+
+    def test_self_referential_list_reversal(self, run_c):
+        src = """
+        extern void *kmalloc(long size, int flags);
+        struct node { long v; struct node *next; };
+        __export long f(int n) {
+            struct node *head = null;
+            for (int i = 0; i < n; i++) {
+                struct node *nd = (struct node *)kmalloc(16, 0);
+                nd->v = i;
+                nd->next = head;
+                head = nd;
+            }
+            /* reverse */
+            struct node *prev = null;
+            while (head) {
+                struct node *nxt = head->next;
+                head->next = prev;
+                prev = head;
+                head = nxt;
+            }
+            /* now ascending: fold digits */
+            long out = 0;
+            for (struct node *p = prev; p; p = p->next) {
+                out = out * 10 + p->v;
+            }
+            return out;
+        }
+        """
+        assert run_c(src, "f", 5) == 1234  # 0,1,2,3,4 -> 01234
+
+
+class TestIRFloatPrinting:
+    def test_float_constants_roundtrip_in_ir(self):
+        from repro.ir import (
+            F64, Function, FunctionType, IRBuilder, Module,
+            parse_module, print_module, verify_module,
+        )
+
+        m = Module("floats")
+        fn = Function("fp", FunctionType(F64, [F64]), ["x"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        y = b.binop("fmul", fn.args[0], b.const_float(F64, 2.5))
+        z = b.binop("fadd", y, b.const_float(F64, -0.125))
+        b.ret(z)
+        text = print_module(m)
+        m2 = parse_module(text)
+        verify_module(m2)
+        assert print_module(m2) == text

@@ -1,0 +1,55 @@
+"""Front-end robustness: arbitrary input may be rejected, never crash.
+
+Hypothesis throws random text at the lexer/parser; the contract is that
+they either produce an AST or raise the two documented diagnostics —
+no IndexError, RecursionError, or other internal failures, because the
+compiler is part of the trusted base the signature chain leans on.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import example, given, settings
+
+from repro.minicc.lexer import LexError, tokenize
+from repro.minicc.parser import CParseError, parse
+
+ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    " \n\t{}()[];,*&|^%+-<>=!~?:.'\"/\\_"
+)
+
+
+@settings(max_examples=300, deadline=None)
+@example('"\\')               # backslash at EOF inside a string (regression)
+@example("'\\")
+@example("int f(void) { return 1 +")
+@example("/*")
+@example("enum { A = ")
+@example("struct s { struct s x")
+@given(st.text(alphabet=ALPHABET, max_size=120))
+def test_parser_never_crashes(text):
+    try:
+        parse(text)
+    except (CParseError, LexError):
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@example('"\\')
+@example("0x")
+@example("1e")
+@given(st.text(alphabet=ALPHABET, max_size=120))
+def test_lexer_never_crashes(text):
+    try:
+        tokens = tokenize(text)
+        assert tokens[-1].kind == "eof"
+    except LexError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=60))
+def test_lexer_handles_arbitrary_bytes(data):
+    try:
+        tokenize(data.decode("latin-1"))
+    except LexError:
+        pass

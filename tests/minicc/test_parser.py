@@ -1,0 +1,240 @@
+"""Parser tests: AST shape and syntax errors."""
+
+import pytest
+
+from repro.minicc import cast as A
+from repro.minicc.parser import CParseError, parse
+
+
+def parse_one(src):
+    unit = parse(src)
+    assert len(unit.items) >= 1
+    return unit.items[-1]
+
+
+class TestTopLevel:
+    def test_global_decl(self):
+        g = parse_one("int counter;")
+        assert isinstance(g, A.GlobalDecl)
+        assert g.name == "counter"
+
+    def test_global_with_init(self):
+        g = parse_one("long x = 42;")
+        assert isinstance(g.init, A.IntLit) and g.init.value == 42
+
+    def test_qualified_globals(self):
+        g = parse_one("static const unsigned long mask = 7;")
+        assert g.is_static and g.is_const
+        assert isinstance(g.type, A.NamedType) and g.type.unsigned
+
+    def test_extern_global(self):
+        g = parse_one("extern int jiffies;")
+        assert g.is_extern
+
+    def test_pointer_declarator(self):
+        g = parse_one("char **argv;")
+        assert isinstance(g.type, A.PointerTo)
+        assert isinstance(g.type.inner, A.PointerTo)
+
+    def test_array_declarator(self):
+        g = parse_one("int table[16];")
+        assert isinstance(g.type, A.ArrayOf) and g.type.count == 16
+
+    def test_multi_dimensional_array(self):
+        g = parse_one("int grid[4][8];")
+        assert g.type.count == 4 and g.type.inner.count == 8
+
+    def test_array_size_constant_expr(self):
+        g = parse_one("enum { N = 8 }; int buf[N * 2];")
+        assert g.type.count == 16
+
+    def test_function_definition(self):
+        f = parse_one("int add(int a, int b) { return a + b; }")
+        assert isinstance(f, A.FunctionDef)
+        assert [p.name for p in f.params] == ["a", "b"]
+        assert f.body is not None
+
+    def test_function_declaration(self):
+        f = parse_one("extern void kfree(void *p);")
+        assert f.body is None and f.is_extern
+
+    def test_void_parameter_list(self):
+        f = parse_one("int f(void) { return 0; }")
+        assert f.params == []
+
+    def test_vararg(self):
+        f = parse_one("extern int printk(char *fmt, ...);")
+        assert f.vararg
+
+    def test_export_qualifier(self):
+        f = parse_one("__export int entry(void) { return 0; }")
+        assert f.is_export
+
+    def test_array_param_decays(self):
+        f = parse_one("long sum(long xs[], int n) { return 0; }")
+        assert isinstance(f.params[0].type, A.PointerTo)
+
+
+class TestStructsEnums:
+    def test_struct_def(self):
+        s = parse_one("struct point { int x; int y; };")
+        assert isinstance(s, A.StructDef)
+        assert [n for _, n in s.fields] == ["x", "y"]
+
+    def test_struct_multi_declarator_fields(self):
+        s = parse_one("struct v { int a, b; long c; };")
+        assert [n for _, n in s.fields] == ["a", "b", "c"]
+
+    def test_struct_self_pointer(self):
+        s = parse_one("struct node { int v; struct node *next; };")
+        field_type = s.fields[1][0]
+        assert isinstance(field_type, A.PointerTo)
+
+    def test_enum_values(self):
+        unit = parse("enum { A, B = 10, C };")
+        e = unit.items[0]
+        assert e.constants == [("A", 0), ("B", 10), ("C", 11)]
+
+    def test_enum_constant_expressions(self):
+        unit = parse("enum { X = 1 << 4, Y = X | 1 };")
+        assert dict(unit.items[0].constants) == {"X": 16, "Y": 17}
+
+    def test_enum_constants_fold_in_expressions(self):
+        f = parse_one("enum { K = 5 }; int f(void) { return K; }")
+        ret = f.body.statements[0]
+        assert isinstance(ret.value, A.IntLit) and ret.value.value == 5
+
+
+class TestStatements:
+    def body(self, stmts):
+        return parse_one(f"void f(void) {{ {stmts} }}").body.statements
+
+    def test_if_else(self):
+        (s,) = self.body("if (1) return; else return;")
+        assert isinstance(s, A.If) and s.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        (s,) = self.body("if (1) if (2) return; else return;")
+        assert s.other is None and s.then.other is not None
+
+    def test_while(self):
+        (s,) = self.body("while (1) { }")
+        assert isinstance(s, A.While)
+
+    def test_do_while(self):
+        (s,) = self.body("do { } while (0);")
+        assert isinstance(s, A.DoWhile)
+
+    def test_for_all_clauses(self):
+        (s,) = self.body("for (int i = 0; i < 4; i++) { }")
+        assert isinstance(s.init, A.LocalDecl)
+        assert s.cond is not None and s.step is not None
+
+    def test_for_empty_clauses(self):
+        (s,) = self.body("for (;;) break;")
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_switch_cases(self):
+        (s,) = self.body(
+            "switch (1) { case 0: break; case 1: case 2: break; default: break; }"
+        )
+        assert isinstance(s, A.SwitchStmt)
+        assert [c.values for c in s.cases] == [[0], [1, 2], []]
+        assert s.cases[2].is_default
+
+    def test_multi_declarator_locals(self):
+        stmts = self.body("int a = 1, b = 2;")
+        assert isinstance(stmts[0], A.Block)
+        assert len(stmts[0].statements) == 2
+
+    def test_asm_statement(self):
+        (s,) = self.body('__asm__("cli");')
+        assert isinstance(s, A.AsmStmt) and s.text == "cli"
+
+    def test_break_continue(self):
+        stmts = self.body("while (1) { break; } while (1) { continue; }")
+        assert isinstance(stmts[0].body.statements[0], A.Break)
+        assert isinstance(stmts[1].body.statements[0], A.Continue)
+
+
+class TestExpressions:
+    def expr(self, text):
+        f = parse_one(f"void f(void) {{ {text}; }}")
+        return f.body.statements[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("x = 1 + 2 * 3")
+        assert e.rhs.op == "+"
+        assert e.rhs.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self.expr("y = 1 << 2 < 3")
+        assert e.rhs.op == "<"
+
+    def test_logical_vs_bitwise(self):
+        e = self.expr("y = a & b && c | d")
+        assert e.rhs.op == "&&"
+
+    def test_assignment_right_associative(self):
+        e = self.expr("a = b = 1")
+        assert isinstance(e.rhs, A.Assign)
+
+    def test_compound_assignment(self):
+        assert self.expr("a += 2").op == "+="
+
+    def test_ternary(self):
+        e = self.expr("y = a ? b : c")
+        assert isinstance(e.rhs, A.Conditional)
+
+    def test_unary_chain(self):
+        e = self.expr("y = !*p")
+        assert e.rhs.op == "!" and e.rhs.operand.op == "*"
+
+    def test_postfix_vs_prefix_incr(self):
+        assert self.expr("i++").op == "post++"
+        assert self.expr("++i").op == "++"
+
+    def test_cast_expression(self):
+        e = self.expr("y = (long)x")
+        assert isinstance(e.rhs, A.CastExpr)
+
+    def test_parenthesized_not_cast(self):
+        e = self.expr("y = (x) + 1")
+        assert e.rhs.op == "+"
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(self.expr("y = sizeof(long)").rhs, A.SizeofType)
+        assert isinstance(self.expr("y = sizeof(y)").rhs, A.SizeofExpr)
+
+    def test_member_chains(self):
+        e = self.expr("s.a->b.c")
+        assert isinstance(e, A.Member) and e.field == "c"
+        assert e.base.arrow is False or e.base.field == "b"
+
+    def test_index_and_call(self):
+        e = self.expr("f(a[1], 2)")
+        assert isinstance(e, A.CallExpr)
+        assert isinstance(e.args[0], A.Index)
+
+    def test_comma_expression(self):
+        e = self.expr("a = (1, 2)")
+        assert e.rhs.op == ","
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "int;",
+            "int f( { }",
+            "int f(void) { return }",
+            "struct { int x; };",           # anonymous struct unsupported
+            "int f(void) { case 1: ; }",    # case outside switch
+            "int f(void) { switch (1) { int x; } }",
+            "int a = ;",
+            "int f(void) { x ?? y; }",
+        ],
+    )
+    def test_syntax_errors(self, src):
+        with pytest.raises(CParseError):
+            parse(src)

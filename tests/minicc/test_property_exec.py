@@ -1,0 +1,134 @@
+"""Property-based front-end tests: generated C expressions must evaluate
+exactly as a Python reference model of C semantics says they should."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.kernel import Kernel
+
+_M64 = (1 << 64) - 1
+
+
+def _wrap64(v: int) -> int:
+    return v & _M64
+
+
+def _signed64(v: int) -> int:
+    v &= _M64
+    return v - (1 << 64) if v >> 63 else v
+
+
+class Expr:
+    """Reference-model expression tree over C 'long' semantics."""
+
+    def __init__(self, text: str, value: int):
+        self.text = text
+        self.value = _wrap64(value)
+
+
+def _binary(op: str, a: Expr, b: Expr) -> Expr:
+    sa, sb = _signed64(a.value), _signed64(b.value)
+    if op == "+":
+        v = sa + sb
+    elif op == "-":
+        v = sa - sb
+    elif op == "*":
+        v = sa * sb
+    elif op == "/":
+        v = int(sa / sb) if sb != 0 else 0
+    elif op == "%":
+        v = sa - int(sa / sb) * sb if sb != 0 else 0
+    elif op == "&":
+        v = a.value & b.value
+    elif op == "|":
+        v = a.value | b.value
+    elif op == "^":
+        v = a.value ^ b.value
+    elif op == "<":
+        v = int(sa < sb)
+    elif op == ">":
+        v = int(sa > sb)
+    elif op == "==":
+        v = int(sa == sb)
+    else:
+        raise AssertionError(op)
+    if op in ("/", "%") and sb == 0:
+        # The generator never emits a zero divisor; guard anyway.
+        raise AssertionError("zero divisor generated")
+    return Expr(f"({a.text} {op} {b.text})", v)
+
+
+@st.composite
+def c_expression(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        v = draw(st.integers(min_value=-(2**31), max_value=2**31))
+        return Expr(f"{v}L" if v >= 0 else f"(0L - {-v}L)", v)
+    op = draw(st.sampled_from("+ - * / % & | ^ < > ==".split()))
+    a = draw(c_expression(depth=depth + 1))
+    b = draw(c_expression(depth=depth + 1))
+    if op in ("/", "%") and _signed64(b.value) == 0:
+        b = Expr("7L", 7)
+    return _binary(op, a, b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(c_expression())
+def test_expression_evaluation_matches_reference(expr):
+    source = f"__export long f(void) {{ return {expr.text}; }}"
+    compiled = compile_module(source, CompileOptions(module_name="prop"))
+    kernel = Kernel()
+    # No policy module: compile unprotected so guards are absent.
+    compiled2 = compile_module(
+        source, CompileOptions(module_name="prop", protect=False)
+    )
+    loaded = kernel.insmod(compiled2)
+    got = kernel.run_function(loaded, "f", [])
+    assert got == expr.value, f"{expr.text}: got {got}, want {expr.value}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-(2**62), max_value=2**62),
+             min_size=1, max_size=12)
+)
+def test_array_sum_matches_python(values):
+    n = len(values)
+    source = f"""
+    long xs[{n}];
+    __export void put(int i, long v) {{ xs[i] = v; }}
+    __export long total(void) {{
+        long s = 0;
+        for (int i = 0; i < {n}; i++) s += xs[i];
+        return s;
+    }}
+    """
+    compiled = compile_module(
+        source, CompileOptions(module_name="arr", protect=False)
+    )
+    kernel = Kernel()
+    loaded = kernel.insmod(compiled)
+    for i, v in enumerate(values):
+        kernel.run_function(loaded, "put", [i, _wrap64(v)])
+    got = kernel.run_function(loaded, "total", [])
+    assert got == _wrap64(sum(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=63), st.integers(0, _M64))
+def test_shift_semantics(shift, value):
+    source = f"""
+    __export unsigned long shl(unsigned long x) {{ return x << {shift}; }}
+    __export unsigned long shr(unsigned long x) {{ return x >> {shift}; }}
+    __export long sar(long x) {{ return x >> {shift}; }}
+    """
+    compiled = compile_module(
+        source, CompileOptions(module_name="sh", protect=False)
+    )
+    kernel = Kernel()
+    loaded = kernel.insmod(compiled)
+    assert kernel.run_function(loaded, "shl", [value]) == _wrap64(value << shift)
+    assert kernel.run_function(loaded, "shr", [value]) == value >> shift
+    assert kernel.run_function(loaded, "sar", [value]) == _wrap64(
+        _signed64(value) >> shift
+    )

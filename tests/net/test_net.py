@@ -1,0 +1,114 @@
+"""Network substrate tests: frames, sink, sockets, blaster."""
+
+import pytest
+
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.net import (
+    ETH_FRAME_LEN,
+    ETH_HEADER_LEN,
+    ETHERTYPE_EXPERIMENTAL,
+    EthernetFrame,
+    PacketSink,
+    make_test_frame,
+)
+
+
+class TestFrames:
+    def test_encode_decode_roundtrip(self):
+        f = EthernetFrame(b"\x01" * 6, b"\x02" * 6, 0x0800, b"payload")
+        g = EthernetFrame.decode(f.encode())
+        assert g.dst == f.dst and g.src == f.src
+        assert g.ethertype == 0x0800 and g.payload == b"payload"
+
+    def test_length_includes_header(self):
+        f = make_test_frame(128)
+        assert len(f) == 128
+        assert len(f.encode()) == 128
+        assert len(f.payload) == 128 - ETH_HEADER_LEN
+
+    def test_test_frame_carries_sequence(self):
+        a = make_test_frame(64, seq=1).encode()
+        b = make_test_frame(64, seq=2).encode()
+        assert a != b
+        assert a[:14] == b[:14]  # same header
+
+    def test_test_frame_uses_experimental_ethertype(self):
+        f = make_test_frame(64)
+        assert f.ethertype == ETHERTYPE_EXPERIMENTAL
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            make_test_frame(10)
+        with pytest.raises(ValueError):
+            make_test_frame(ETH_FRAME_LEN + 1)
+        make_test_frame(ETH_HEADER_LEN)  # minimum ok
+
+    def test_mac_validation(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(b"\x01" * 5, b"\x02" * 6, 0x0800, b"")
+        with pytest.raises(ValueError):
+            EthernetFrame(b"\x01" * 6, b"\x02" * 6, 0x10000, b"")
+
+    def test_decode_short_frame(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.decode(b"short")
+
+
+class TestSink:
+    def test_counts_and_histogram(self):
+        s = PacketSink()
+        s.deliver(b"a" * 64)
+        s.deliver(b"b" * 64)
+        s.deliver(b"c" * 128)
+        assert s.packets == 3 and s.octets == 256
+        assert s.size_histogram == {64: 2, 128: 1}
+
+    def test_keep_last_bound(self):
+        s = PacketSink(keep_last=2)
+        for i in range(5):
+            s.deliver(bytes([i]))
+        assert len(s.recent) == 2
+        assert s.last() == b"\x04"
+
+    def test_reset(self):
+        s = PacketSink()
+        s.deliver(b"x")
+        s.reset()
+        assert s.packets == 0 and s.last() is None
+
+
+class TestSocketAndBlaster:
+    def test_sendmsg_latency_measured(self):
+        sys_ = CaratKopSystem(SystemConfig(machine="r350"))
+        r = sys_.socket.sendmsg(make_test_frame(128, 0))
+        assert r.rc == 0
+        assert 200 < r.latency_cycles < 20_000
+        assert not r.stalled
+
+    def test_blast_result_accounting(self):
+        sys_ = CaratKopSystem(SystemConfig(machine="r350"))
+        result = sys_.blast(size=128, count=50, capture_latency=True)
+        assert result.packets_requested == 50
+        assert result.packets_sent == 50
+        assert result.errors == 0
+        assert len(result.latencies) == 50
+        assert result.mean_latency > 0
+        assert result.throughput_pps > 0
+        assert sys_.sink.packets == 50
+
+    def test_throughput_in_plausible_band(self):
+        """Absolute pps must land in the paper's 90k-135k window."""
+        for machine in ("r350", "r415"):
+            sys_ = CaratKopSystem(SystemConfig(machine=machine))
+            result = sys_.blast(size=128, count=200)
+            assert 90_000 < result.throughput_pps < 135_000, machine
+
+    def test_latency_capture_off_by_default(self):
+        sys_ = CaratKopSystem(SystemConfig(machine="r350"))
+        assert sys_.blast(size=128, count=5).latencies == []
+
+    def test_functional_mode_counts_only(self):
+        sys_ = CaratKopSystem(SystemConfig(machine=None))
+        result = sys_.blast(size=128, count=20)
+        assert result.packets_sent == 20
+        assert result.total_cycles == 0.0

@@ -1,0 +1,132 @@
+"""Dominator / loop analysis tests on hand-built CFGs."""
+
+from repro.ir import Function, FunctionType, I32, IRBuilder, VOID
+from repro.passes import DominatorTree, find_loops, unreachable_blocks
+
+
+def diamond():
+    """entry -> (left | right) -> merge"""
+    fn = Function("diamond", FunctionType(VOID, [I32]), ["c"])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b = IRBuilder(entry)
+    cond = b.icmp("ne", fn.args[0], b.const_i32(0))
+    b.cond_br(cond, left, right)
+    b.position_at_end(left)
+    b.br(merge)
+    b.position_at_end(right)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret()
+    return fn, entry, left, right, merge
+
+
+def loop_cfg():
+    """entry -> header <-> body, header -> exit"""
+    fn = Function("loopy", FunctionType(VOID, [I32]), ["n"])
+    entry = fn.add_block("entry")
+    header = fn.add_block("header")
+    body = fn.add_block("body")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position_at_end(header)
+    c = b.icmp("sgt", fn.args[0], b.const_i32(0))
+    b.cond_br(c, body, exit_)
+    b.position_at_end(body)
+    b.br(header)
+    b.position_at_end(exit_)
+    b.ret()
+    return fn, entry, header, body, exit_
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        fn, entry, left, right, merge = diamond()
+        dom = DominatorTree(fn)
+        for block in fn.blocks:
+            assert dom.dominates(entry, block)
+
+    def test_branches_do_not_dominate_merge(self):
+        fn, entry, left, right, merge = diamond()
+        dom = DominatorTree(fn)
+        assert not dom.dominates(left, merge)
+        assert not dom.dominates(right, merge)
+        assert dom.idom[id(merge)] is entry
+
+    def test_dominance_is_reflexive(self):
+        fn, entry, *_ = diamond()
+        dom = DominatorTree(fn)
+        assert dom.dominates(entry, entry)
+
+    def test_dominance_frontier_of_branches_is_merge(self):
+        fn, entry, left, right, merge = diamond()
+        dom = DominatorTree(fn)
+        assert dom.frontiers[id(left)] == [merge]
+        assert dom.frontiers[id(right)] == [merge]
+
+    def test_loop_header_frontier_contains_itself(self):
+        fn, entry, header, body, exit_ = loop_cfg()
+        dom = DominatorTree(fn)
+        assert header in dom.frontiers[id(body)]
+
+    def test_children_partition(self):
+        fn, entry, left, right, merge = diamond()
+        dom = DominatorTree(fn)
+        kids = dom.children[id(entry)]
+        assert {b.name for b in kids} == {"left", "right", "merge"}
+
+
+class TestLoops:
+    def test_finds_natural_loop(self):
+        fn, entry, header, body, exit_ = loop_cfg()
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header is header
+        assert loop.contains(body)
+        assert not loop.contains(entry)
+        assert not loop.contains(exit_)
+        assert loop.latches == [body]
+
+    def test_no_loops_in_diamond(self):
+        fn, *_ = diamond()
+        assert find_loops(fn) == []
+
+    def test_nested_loop_membership(self):
+        fn = Function("nested", FunctionType(VOID, [I32]), ["n"])
+        entry = fn.add_block("entry")
+        outer = fn.add_block("outer")
+        inner = fn.add_block("inner")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(outer)
+        b.position_at_end(outer)
+        c = b.icmp("sgt", fn.args[0], b.const_i32(0))
+        b.cond_br(c, inner, exit_)
+        b.position_at_end(inner)
+        c2 = b.icmp("sgt", fn.args[0], b.const_i32(5))
+        b.cond_br(c2, inner, outer)
+        b.position_at_end(exit_)
+        b.ret()
+        loops = find_loops(fn)
+        headers = {loop.header.name for loop in loops}
+        assert headers == {"outer", "inner"}
+        outer_loop = next(l for l in loops if l.header.name == "outer")
+        assert outer_loop.contains(inner)
+
+
+class TestUnreachable:
+    def test_detects_orphan_blocks(self):
+        fn, *_ = diamond()
+        orphan = fn.add_block("orphan")
+        b = IRBuilder(orphan)
+        b.ret()
+        dead = unreachable_blocks(fn)
+        assert [d.name for d in dead] == [orphan.name]
+
+    def test_all_reachable(self):
+        fn, *_ = diamond()
+        assert unreachable_blocks(fn) == []

@@ -1,0 +1,160 @@
+"""Guard-injection pass tests: the paper's §3.3 core transform."""
+
+import pytest
+
+from repro import abi
+from repro.ir import Module, parse_module, print_module, verify_module
+from repro.ir.instructions import Call, Load, Store
+from repro.minicc import compile_source
+from repro.passes import (
+    AttestationPass,
+    DCEPass,
+    GuardInjectionPass,
+    Mem2RegPass,
+    PassManager,
+    PeepholePass,
+)
+
+SRC = """
+long buffer[16];
+__export long f(long i, long v) {
+    buffer[i] = v;          /* store */
+    long x = buffer[i];     /* load  */
+    buffer[i + 1] = x + 1;  /* store */
+    return buffer[0];       /* load  */
+}
+"""
+
+
+def compiled_module(src=SRC, optimize=True):
+    m = compile_source(src, "gm")
+    passes = [Mem2RegPass(), PeepholePass(), DCEPass()] if optimize else []
+    PassManager(passes + [AttestationPass(), GuardInjectionPass()]).run(m)
+    verify_module(m)
+    return m
+
+
+def guards_in(m: Module):
+    return [
+        inst
+        for fn in m.defined_functions()
+        for inst in fn.instructions()
+        if isinstance(inst, Call) and inst.is_guard
+    ]
+
+
+class TestInjection:
+    def test_every_load_and_store_guarded(self):
+        m = compiled_module()
+        for fn in m.defined_functions():
+            for block in fn.blocks:
+                insts = block.instructions
+                for i, inst in enumerate(insts):
+                    if isinstance(inst, (Load, Store)):
+                        assert i > 0, f"{inst.opcode} at block start, unguarded"
+                        prev = insts[i - 1]
+                        assert isinstance(prev, Call) and prev.is_guard, (
+                            f"{inst.opcode} not immediately preceded by guard"
+                        )
+
+    def test_guard_count_matches_accesses(self):
+        m = compiled_module()
+        n_access = sum(
+            isinstance(i, (Load, Store))
+            for fn in m.defined_functions()
+            for i in fn.instructions()
+        )
+        assert len(guards_in(m)) == n_access
+        assert m.metadata[abi.META_GUARD_COUNT] == n_access
+
+    def test_guard_metadata_set(self):
+        m = compiled_module()
+        assert m.metadata[abi.META_GUARDED] is True
+
+    def test_guard_declaration_added(self):
+        m = compiled_module()
+        guard = m.functions[abi.GUARD_SYMBOL]
+        assert guard.is_declaration
+        assert guard.function_type is abi.guard_function_type()
+
+    def test_idempotent(self):
+        m = compiled_module()
+        before = len(guards_in(m))
+        changed = GuardInjectionPass().run(m)
+        assert changed is False
+        assert len(guards_in(m)) == before
+
+    def test_guard_flags_read_vs_write(self):
+        m = compiled_module()
+        for fn in m.defined_functions():
+            for block in fn.blocks:
+                insts = block.instructions
+                for i, inst in enumerate(insts):
+                    if isinstance(inst, (Load, Store)):
+                        guard = insts[i - 1]
+                        flags = guard.args[2].value
+                        if isinstance(inst, Load):
+                            assert flags == abi.FLAG_READ
+                        else:
+                            assert flags == abi.FLAG_WRITE
+
+    def test_guard_sizes_match_access_width(self):
+        src = """
+        __export void f(char *c, short *s, int *i, long *l) {
+            *c = 1; *s = 2; *i = 3; *l = 4;
+        }
+        """
+        m = compiled_module(src)
+        sizes = [g.args[1].value for g in guards_in(m)]
+        assert sorted(sizes) == [1, 2, 4, 8]
+
+    def test_guard_address_is_i8_pointer(self):
+        m = compiled_module()
+        from repro.ir import I8, PointerType
+
+        for g in guards_in(m):
+            assert g.args[0].type is PointerType(I8)
+
+    def test_unoptimized_build_guards_stack_traffic(self):
+        # Without mem2reg every local access is memory: many more guards.
+        opt = len(guards_in(compiled_module(optimize=True)))
+        unopt = len(guards_in(compiled_module(optimize=False)))
+        assert unopt > opt
+
+    def test_printed_form_round_trips(self):
+        m = compiled_module()
+        text = print_module(m)
+        m2 = parse_module(text)
+        verify_module(m2)
+        assert len(guards_in(m2)) == len(guards_in(m))
+        assert print_module(m2) == text
+
+    def test_module_without_memory_ops_gets_no_guards(self):
+        src = "__export long f(long a, long b) { return a + b; }"
+        m = compiled_module(src)
+        assert guards_in(m) == []
+        assert m.metadata[abi.META_GUARD_COUNT] == 0
+        # Still marked as transformed (the property is "was processed").
+        assert m.metadata[abi.META_GUARDED] is True
+
+
+class TestSemanticsPreserved:
+    def test_guarded_module_computes_same_results(self):
+        from repro.core.pipeline import CompileOptions, compile_module
+        from repro.kernel import Kernel
+        from repro.policy import CaratPolicyModule, PolicyManager
+
+        results = {}
+        for protect in (False, True):
+            kernel = Kernel()
+            if protect:
+                CaratPolicyModule(kernel).install()
+                PolicyManager(kernel).install_two_region_policy()
+            compiled = compile_module(
+                SRC, CompileOptions(module_name="gm", protect=protect)
+            )
+            loaded = kernel.insmod(compiled)
+            results[protect] = [
+                kernel.run_function(loaded, "f", [i, i * 7]) for i in range(8)
+            ]
+        assert results[False] == results[True]

@@ -1,0 +1,79 @@
+"""Property tests for the policy miner's coalescing invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import abi
+from repro.policy.miner import AccessRecord, PolicyMiner
+from repro.policy.table import MAX_REGIONS
+
+
+def mine(records, max_regions=MAX_REGIONS, page_align=False):
+    miner = PolicyMiner.__new__(PolicyMiner)
+    miner.max_regions = max_regions
+    miner.records = [AccessRecord(*r) for r in records]
+    return PolicyMiner.mine(miner, page_align=page_align)
+
+
+@st.composite
+def access_records(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    out = []
+    for _ in range(n):
+        addr = draw(st.integers(min_value=0x1000, max_value=0x100_0000))
+        size = draw(st.sampled_from((1, 2, 4, 8, 16, 64)))
+        flags = draw(st.sampled_from((abi.FLAG_READ, abi.FLAG_WRITE,
+                                      abi.FLAG_READ | abi.FLAG_WRITE)))
+        out.append((addr, size, flags))
+    return out
+
+
+@settings(max_examples=120, deadline=None)
+@given(access_records(), st.integers(min_value=1, max_value=16),
+       st.booleans())
+def test_mined_policy_covers_every_observation(records, budget, page_align):
+    mined = mine(records, max_regions=budget, page_align=page_align)
+    assert len(mined.regions) <= budget
+    for addr, size, flags in records:
+        assert mined.covers(addr, size, flags), (
+            f"mined policy lost {addr:#x}+{size}"
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(access_records())
+def test_regions_are_disjoint_and_sorted(records):
+    mined = mine(records)
+    regions = mined.regions
+    for a, b in zip(regions, regions[1:]):
+        assert a.end <= b.base, "mined regions overlap or are unsorted"
+
+
+@settings(max_examples=80, deadline=None)
+@given(access_records(), st.integers(min_value=1, max_value=8))
+def test_slack_only_appears_under_budget_pressure(records, budget):
+    exact = mine(records, max_regions=MAX_REGIONS)
+    squeezed = mine(records, max_regions=budget)
+    assert exact.slack_bytes == 0 or len(exact.regions) == MAX_REGIONS
+    # Squeezing can only add slack, never lose observed bytes.
+    assert squeezed.observed_bytes == exact.observed_bytes
+    assert squeezed.slack_bytes >= 0
+    if len(exact.regions) <= budget:
+        assert squeezed.slack_bytes == exact.slack_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_records())
+def test_flags_are_permissive_upward_only(records):
+    """A mined region grants a flag only if some merged access used it."""
+    mined = mine(records, max_regions=4)
+    for region in mined.regions:
+        contributing = [
+            f for a, s, f in records
+            if region.base <= a and a + s <= region.end
+        ]
+        assert contributing, "region with no contributing access"
+        union = 0
+        for f in contributing:
+            union |= f
+        assert region.prot == union

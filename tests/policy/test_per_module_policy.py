@@ -1,0 +1,92 @@
+"""Per-module policy tables (paper §5 direction): one module's firewall
+must not loosen — or tighten — another's."""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.kernel import KernelPanic, layout
+
+# No __export: run_function reaches internal functions, and two copies of
+# this module can coexist without kernel symbol collisions.
+PEEKER = """
+long peek(long a) { return *(long *)a; }
+long poke(long a, long v) { *(long *)a = v; return v; }
+"""
+
+
+@pytest.fixture()
+def system():
+    return CaratKopSystem(SystemConfig(machine=None, protect=True))
+
+
+def load(system, name):
+    compiled = compile_module(
+        PEEKER, CompileOptions(module_name=name, key=system.signing_key)
+    )
+    return system.kernel.insmod(compiled)
+
+
+class TestPerModulePolicies:
+    def test_private_table_overrides_global(self, system):
+        kernel = system.kernel
+        sandboxed = load(system, "sandboxed")
+        target = kernel.kmalloc_allocator.kmalloc(64)
+        # Global policy allows the whole kernel half; the sandboxed module
+        # gets a private table WITHOUT that allowance.
+        system.policy_manager.add_region_for("sandboxed", target, 8, 0x1)
+        # Reads inside its one allowed window work…
+        kernel.address_space.write_int(target, 8, 7)
+        assert kernel.run_function(sandboxed, "peek", [target]) == 7
+        # …anything else — even addresses the GLOBAL policy allows — dies.
+        other = kernel.kmalloc_allocator.kmalloc(64)
+        with pytest.raises(KernelPanic):
+            kernel.run_function(sandboxed, "peek", [other])
+
+    def test_other_modules_keep_global_policy(self, system):
+        kernel = system.kernel
+        load(system, "sandboxed")
+        free_roamer = load(system, "roamer")
+        system.policy_manager.add_region_for("sandboxed", 0x1000, 8, 0x1)
+        spot = kernel.kmalloc_allocator.kmalloc(64)
+        kernel.address_space.write_int(spot, 8, 99)
+        # The roamer still enjoys the global two-region policy.
+        assert kernel.run_function(free_roamer, "peek", [spot]) == 99
+
+    def test_driver_unaffected_by_sibling_sandbox(self, system):
+        system.policy_manager.add_region_for("sandboxed", 0x1000, 8, 0x1)
+        result = system.blast(size=128, count=20)
+        assert result.errors == 0
+
+    def test_clear_module_policy_reverts_to_global(self, system):
+        kernel = system.kernel
+        sandboxed = load(system, "sandboxed")
+        spot = kernel.kmalloc_allocator.kmalloc(64)
+        system.policy_manager.add_region_for("sandboxed", 0x2000, 8, 0x1)
+        with pytest.raises(KernelPanic):
+            kernel.run_function(sandboxed, "peek", [spot])
+        system.policy_manager.clear_module_policy("sandboxed")
+        kernel.address_space.write_int(spot, 8, 123)
+        assert kernel.run_function(sandboxed, "peek", [spot]) == 123
+
+    def test_write_vs_read_in_private_table(self, system):
+        kernel = system.kernel
+        sandboxed = load(system, "sandboxed")
+        target = kernel.kmalloc_allocator.kmalloc(64)
+        system.policy_manager.add_region_for("sandboxed", target, 64, 0x1)
+        assert kernel.run_function(sandboxed, "peek", [target]) == 0
+        with pytest.raises(KernelPanic):
+            kernel.run_function(sandboxed, "poke", [target, 1])
+
+    def test_name_length_validated(self, system):
+        with pytest.raises(ValueError):
+            system.policy_manager.add_region_for("x" * 40, 0, 8, 1)
+
+    def test_bad_payload_size(self, system):
+        from repro.kernel import IoctlError
+        from repro.policy import module as pm
+
+        with pytest.raises(IoctlError):
+            system.kernel.devices.ioctl(
+                pm.DEVICE_PATH, pm.CMD_ADD_REGION_FOR, b"short", uid=0
+            )

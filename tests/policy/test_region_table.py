@@ -1,0 +1,138 @@
+"""Region and RegionTable semantics (the paper's 64-entry table, §3.1)."""
+
+import pytest
+
+from repro import abi
+from repro.policy import MAX_REGIONS, PolicyTableFull, Region, RegionTable
+
+RW = abi.FLAG_READ | abi.FLAG_WRITE
+
+
+class TestRegion:
+    def test_covers_full_range_only(self):
+        r = Region(0x1000, 0x100, RW)
+        assert r.covers(0x1000, 8)
+        assert r.covers(0x10F8, 8)
+        assert not r.covers(0x10F9, 8)  # spills past the end
+        assert not r.covers(0xFFF, 8)
+
+    def test_contains_point(self):
+        r = Region(0x1000, 0x100, RW)
+        assert r.contains(0x1000) and r.contains(0x10FF)
+        assert not r.contains(0x1100)
+
+    def test_overlap(self):
+        a = Region(0x1000, 0x100, RW)
+        assert a.overlaps(Region(0x10FF, 0x10, RW))
+        assert not a.overlaps(Region(0x1100, 0x10, RW))
+        assert a.overlaps(Region(0x0, 0x10000, RW))
+
+    def test_permits_requires_all_flags(self):
+        r = Region(0, 0x1000, abi.FLAG_READ)
+        assert r.permits(abi.FLAG_READ)
+        assert not r.permits(abi.FLAG_WRITE)
+        assert not r.permits(RW)
+
+    def test_deny_region_permits_nothing(self):
+        r = Region(0, 0x1000, 0)
+        assert not r.permits(abi.FLAG_READ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, RW)
+        with pytest.raises(ValueError):
+            Region(-1, 10, RW)
+        with pytest.raises(ValueError):
+            Region((1 << 64) - 4, 8, RW)
+
+    def test_describe_mentions_flags(self):
+        assert "RW" in Region(0, 8, RW).describe()
+
+
+class TestRegionTable:
+    def test_empty_table_uses_default(self):
+        deny = RegionTable(default_allow=False)
+        allow = RegionTable(default_allow=True)
+        assert deny.check(0x1000, 8, abi.FLAG_READ) == (False, 0)
+        assert allow.check(0x1000, 8, abi.FLAG_READ)[0] is True
+
+    def test_first_match_wins(self):
+        t = RegionTable()
+        t.add(Region(0x1000, 0x100, 0))        # deny hole first
+        t.add(Region(0x0, 0x100000, RW))       # broad allow second
+        assert t.check(0x1010, 8, abi.FLAG_READ)[0] is False
+        assert t.check(0x2000, 8, abi.FLAG_READ)[0] is True
+
+    def test_order_reversed_changes_decision(self):
+        t = RegionTable()
+        t.add(Region(0x0, 0x100000, RW))
+        t.add(Region(0x1000, 0x100, 0))
+        # Broad allow matches first now: the hole is shadowed.
+        assert t.check(0x1010, 8, abi.FLAG_READ)[0] is True
+
+    def test_entries_scanned_reported(self):
+        t = RegionTable()
+        for i in range(10):
+            t.add(Region(0x10000 * (i + 1), 0x100, RW))
+        _, scanned = t.check(0x10000 * 10, 8, abi.FLAG_READ)
+        assert scanned == 10
+        _, scanned = t.check(0x10000, 8, abi.FLAG_READ)
+        assert scanned == 1
+        _, scanned = t.check(0xDEAD_0000, 8, abi.FLAG_READ)
+        assert scanned == 10  # full scan on miss
+
+    def test_access_straddling_region_boundary_misses(self):
+        t = RegionTable(default_allow=False)
+        t.add(Region(0x1000, 0x100, RW))
+        t.add(Region(0x1100, 0x100, RW))
+        # Access spans two adjacent allowed regions: no single region
+        # covers it, so it falls to the default (deny) — strictest reading.
+        assert t.check(0x10FC, 8, abi.FLAG_READ)[0] is False
+
+    def test_capacity_limit(self):
+        t = RegionTable()
+        for i in range(MAX_REGIONS):
+            t.add(Region(0x100000 + i * 0x1000, 0x100, RW))
+        with pytest.raises(PolicyTableFull):
+            t.add(Region(0xFF000000, 0x100, RW))
+
+    def test_remove_exact_match_only(self):
+        t = RegionTable()
+        t.add(Region(0x1000, 0x100, RW))
+        assert t.remove(0x1000, 0x200) is False
+        assert t.remove(0x1000, 0x100) is True
+        assert len(t) == 0
+
+    def test_clear(self):
+        t = RegionTable()
+        t.add(Region(0x1000, 0x100, RW))
+        t.clear()
+        assert len(t) == 0
+
+    def test_find(self):
+        t = RegionTable()
+        r = Region(0x1000, 0x100, RW)
+        t.add(r)
+        assert t.find(0x1000, 8) == r
+        assert t.find(0x9000, 8) is None
+
+    def test_write_to_read_only_region_denied(self):
+        t = RegionTable()
+        t.add(Region(0x1000, 0x100, abi.FLAG_READ))
+        assert t.check(0x1000, 8, abi.FLAG_READ)[0] is True
+        assert t.check(0x1000, 8, abi.FLAG_WRITE)[0] is False
+        assert t.check(0x1000, 8, RW)[0] is False
+
+    def test_describe_lists_regions(self):
+        t = RegionTable()
+        t.add(Region(0x1000, 0x100, RW))
+        text = t.describe()
+        assert "1 region" in text and "DENY" in text
+
+    def test_byte_granularity(self):
+        """CARAT guards operate at arbitrary granularity (paper §2)."""
+        t = RegionTable(default_allow=False)
+        t.add(Region(0x1003, 1, abi.FLAG_WRITE))  # exactly one byte
+        assert t.check(0x1003, 1, abi.FLAG_WRITE)[0] is True
+        assert t.check(0x1002, 1, abi.FLAG_WRITE)[0] is False
+        assert t.check(0x1003, 2, abi.FLAG_WRITE)[0] is False

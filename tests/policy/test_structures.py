@@ -1,0 +1,198 @@
+"""Alternative policy-index structures: unit tests per structure."""
+
+import pytest
+
+from repro import abi
+from repro.policy import (
+    AMQFilterIndex,
+    BloomFilter,
+    CachedIndex,
+    LSHBucketIndex,
+    OverlapError,
+    Region,
+    RegionTable,
+    SortedRegionIndex,
+    SplayRegionIndex,
+    STRUCTURES,
+    make_index,
+)
+
+RW = abi.FLAG_READ | abi.FLAG_WRITE
+
+ALT_CLASSES = [SortedRegionIndex, SplayRegionIndex, AMQFilterIndex, LSHBucketIndex]
+
+
+def populated(cls, n=8):
+    idx = cls()
+    regions = [Region(0x10000 * (i + 1), 0x1000, RW) for i in range(n)]
+    for r in regions:
+        idx.add(r)
+    return idx, regions
+
+
+@pytest.mark.parametrize("cls", ALT_CLASSES)
+class TestCommonBehaviour:
+    def test_hit_inside_region(self, cls):
+        idx, regions = populated(cls)
+        for r in regions:
+            allowed, scanned = idx.check(r.base + 4, 8, abi.FLAG_READ)
+            assert allowed, f"{cls.__name__} missed {r.describe()}"
+            assert scanned >= 1
+
+    def test_miss_outside_regions(self, cls):
+        idx, _ = populated(cls)
+        assert idx.check(0x5, 8, abi.FLAG_READ)[0] is False
+        assert idx.check(0xFFFF_FFFF, 8, abi.FLAG_READ)[0] is False
+
+    def test_default_allow(self, cls):
+        idx = cls(default_allow=True)
+        assert idx.check(0x123, 8, abi.FLAG_READ)[0] is True
+
+    def test_flags_respected(self, cls):
+        idx = cls()
+        idx.add(Region(0x1000, 0x100, abi.FLAG_READ))
+        assert idx.check(0x1000, 4, abi.FLAG_READ)[0] is True
+        assert idx.check(0x1000, 4, abi.FLAG_WRITE)[0] is False
+
+    def test_boundary_exact(self, cls):
+        idx = cls()
+        idx.add(Region(0x1000, 0x100, RW))
+        assert idx.check(0x1000, 0x100, abi.FLAG_READ)[0] is True
+        assert idx.check(0x1000, 0x101, abi.FLAG_READ)[0] is False
+        assert idx.check(0x10FF, 1, abi.FLAG_READ)[0] is True
+
+    def test_overlap_rejected(self, cls):
+        idx = cls()
+        idx.add(Region(0x1000, 0x100, RW))
+        with pytest.raises(OverlapError):
+            idx.add(Region(0x10FF, 0x10, RW))
+        assert not cls.supports_overlap
+
+    def test_remove(self, cls):
+        idx, regions = populated(cls, n=4)
+        r = regions[2]
+        assert idx.remove(r.base, r.length) is True
+        assert idx.check(r.base, 8, abi.FLAG_READ)[0] is False
+        assert len(idx) == 3
+        assert idx.remove(r.base, r.length) is False
+
+    def test_clear(self, cls):
+        idx, _ = populated(cls)
+        idx.clear()
+        assert len(idx) == 0
+        assert idx.check(0x10000, 8, abi.FLAG_READ)[0] is False
+
+    def test_huge_half_space_region(self, cls):
+        """Every structure must handle the paper's 'kernel half' rule."""
+        idx = cls()
+        base = 0xFFFF_8000_0000_0000
+        idx.add(Region(base, (1 << 64) - base, RW))
+        assert idx.check(0xFFFF_8880_1234_0000, 8, RW)[0] is True
+        assert idx.check(0x1000, 8, RW)[0] is False
+
+
+class TestSorted:
+    def test_logarithmic_scan_count(self):
+        idx, _ = populated(SortedRegionIndex, n=64)
+        _, scanned = idx.check(0x10000 * 40 + 8, 8, abi.FLAG_READ)
+        assert scanned <= 8  # ~log2(64) + cover check
+
+    def test_keeps_sorted_under_mixed_inserts(self):
+        idx = SortedRegionIndex()
+        for base in (0x50000, 0x10000, 0x30000, 0x70000, 0x20000):
+            idx.add(Region(base, 0x100, RW))
+        bases = [r.base for r in idx.regions()]
+        assert bases == sorted(bases)
+
+
+class TestSplay:
+    def test_repeated_hits_get_cheaper(self):
+        idx, regions = populated(SplayRegionIndex, n=32)
+        target = regions[27]
+        _, first = idx.check(target.base, 8, abi.FLAG_READ)
+        _, second = idx.check(target.base, 8, abi.FLAG_READ)
+        assert second <= first  # splayed to the root
+
+    def test_rebuild_after_remove(self):
+        idx, regions = populated(SplayRegionIndex, n=8)
+        idx.remove(regions[0].base, regions[0].length)
+        for r in regions[1:]:
+            assert idx.check(r.base, 8, abi.FLAG_READ)[0] is True
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        f = BloomFilter(bits=1 << 10)
+        keys = list(range(0, 2000, 7))
+        for k in keys:
+            f.insert(k)
+        assert all(k in f for k in keys)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=1000)
+
+    def test_clear(self):
+        f = BloomFilter()
+        f.insert(42)
+        f.clear()
+        assert 42 not in f
+
+    def test_amq_fast_deny_path(self):
+        idx = AMQFilterIndex()
+        for i in range(16):
+            idx.add(Region(0x100000 + i * 0x10000, 0x1000, RW))
+        # A miss far away: the filter answers without a full scan.
+        _, scanned = idx.check(0x9999_0000_0000, 8, abi.FLAG_READ)
+        assert scanned <= 2
+
+
+class TestLSH:
+    def test_bucket_lookup_constantish(self):
+        idx, _ = populated(LSHBucketIndex, n=64)
+        _, scanned = idx.check(0x10000 * 10 + 4, 8, abi.FLAG_READ)
+        assert scanned <= 3
+
+    def test_oversize_side_list(self):
+        idx = LSHBucketIndex()
+        base = 0xFFFF_8000_0000_0000
+        idx.add(Region(base, (1 << 64) - base, RW))  # giant
+        idx.add(Region(0x1000, 0x100, RW))
+        assert idx.check(base + 0x123456, 8, RW)[0] is True
+        assert idx.check(0x1004, 4, RW)[0] is True
+
+
+class TestCachedIndex:
+    def test_cache_hit_costs_one(self):
+        inner = RegionTable()
+        for i in range(32):
+            inner.add(Region(0x10000 * (i + 1), 0x1000, RW))
+        idx = CachedIndex(inner)
+        target = 0x10000 * 30
+        idx.check(target, 8, abi.FLAG_READ)
+        allowed, scanned = idx.check(target + 8, 8, abi.FLAG_READ)
+        assert allowed and scanned == 1
+        assert idx.hits == 1
+
+    def test_cache_invalidated_on_mutation(self):
+        inner = RegionTable()
+        inner.add(Region(0x1000, 0x100, RW))
+        idx = CachedIndex(inner)
+        idx.check(0x1000, 8, abi.FLAG_READ)
+        idx.remove(0x1000, 0x100)
+        assert idx.check(0x1000, 8, abi.FLAG_READ)[0] is False
+
+    def test_name_reflects_inner(self):
+        assert make_index("splay", cached=True).name == "cached(splay-tree)"
+
+
+class TestFactory:
+    def test_all_kinds_constructible(self):
+        for kind in STRUCTURES:
+            idx = make_index(kind)
+            idx.add(Region(0x1000, 0x100, RW))
+            assert idx.check(0x1000, 8, abi.FLAG_READ)[0] is True
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_index("btree")

@@ -1,0 +1,100 @@
+"""Property-based parity: every index structure must decide exactly like
+the paper's linear table on non-overlapping policies (the invariant that
+makes the abl1 comparison meaningful)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import abi
+from repro.policy import Region, RegionTable, STRUCTURES, CachedIndex, make_index
+
+PROTS = (0, abi.FLAG_READ, abi.FLAG_WRITE, abi.FLAG_READ | abi.FLAG_WRITE)
+
+
+@st.composite
+def disjoint_policy(draw):
+    """A list of non-overlapping regions on a 0x10000-aligned lattice."""
+    n = draw(st.integers(min_value=0, max_value=24))
+    slots = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    regions = []
+    for slot in slots:
+        base = 0x40000000 + slot * 0x10000
+        length = draw(st.integers(min_value=1, max_value=0x10000))
+        prot = draw(st.sampled_from(PROTS))
+        regions.append(Region(base, length, prot))
+    return regions
+
+
+@st.composite
+def queries(draw):
+    out = []
+    for _ in range(draw(st.integers(min_value=1, max_value=30))):
+        addr = draw(
+            st.one_of(
+                # inside the lattice the policy lives on
+                st.integers(0x40000000, 0x40000000 + 501 * 0x10000),
+                # far away
+                st.integers(0, 1 << 48),
+            )
+        )
+        size = draw(st.sampled_from((1, 2, 4, 8, 16)))
+        flags = draw(st.sampled_from(PROTS[1:]))
+        out.append((addr, size, flags))
+    return out
+
+
+@settings(max_examples=80, deadline=None)
+@given(disjoint_policy(), queries(), st.booleans())
+def test_all_structures_agree_with_linear_table(regions, qs, default_allow):
+    reference = RegionTable(default_allow=default_allow)
+    for r in regions:
+        reference.add(r)
+    candidates = {}
+    for kind in STRUCTURES:
+        if kind == "linear":
+            continue
+        idx = make_index(kind, default_allow=default_allow)
+        for r in regions:
+            idx.add(r)
+        candidates[kind] = idx
+    candidates["cached"] = CachedIndex(
+        make_index("linear", default_allow=default_allow)
+    )
+    for r in regions:
+        candidates["cached"].add(r)
+
+    for addr, size, flags in qs:
+        want, _ = reference.check(addr, size, flags)
+        for kind, idx in candidates.items():
+            got, scanned = idx.check(addr, size, flags)
+            assert got == want, (
+                f"{kind} disagrees at {addr:#x}+{size} "
+                f"{abi.flags_name(flags)}: got {got}, want {want}"
+            )
+            assert scanned >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(disjoint_policy(), queries())
+def test_removal_keeps_parity(regions, qs):
+    if not regions:
+        return
+    reference = RegionTable()
+    others = {kind: make_index(kind) for kind in STRUCTURES if kind != "linear"}
+    for r in regions:
+        reference.add(r)
+        for idx in others.values():
+            idx.add(r)
+    victim = regions[len(regions) // 2]
+    reference.remove(victim.base, victim.length)
+    for idx in others.values():
+        assert idx.remove(victim.base, victim.length)
+    for addr, size, flags in qs:
+        want, _ = reference.check(addr, size, flags)
+        for kind, idx in others.items():
+            assert idx.check(addr, size, flags)[0] == want, kind

@@ -1,0 +1,141 @@
+"""Signing / attestation tests (paper §2, §3.2 validation-at-insertion)."""
+
+import pytest
+
+from repro import abi
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.ir import IRBuilder
+from repro.ir.values import ConstantInt
+from repro.ir.types import I64
+from repro.kernel import Kernel, LoadError
+from repro.signing import (
+    ModuleSignature,
+    SignatureError,
+    SigningKey,
+    sign_module,
+    verify_signature,
+)
+
+SRC = """
+long state;
+__export long touch(long v) { state = v; return state; }
+"""
+
+
+@pytest.fixture()
+def signed(key):
+    return compile_module(SRC, CompileOptions(module_name="sm", key=key))
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, signed, key):
+        verify_signature(signed.ir, signed.signature, key)
+
+    def test_signature_records_attestation(self, signed):
+        sig = signed.signature
+        assert sig.guarded is True
+        assert sig.guard_count == signed.guard_count
+        assert sig.has_inline_asm is False
+        assert "caratcc" in sig.compiler
+
+    def test_unattested_module_cannot_be_signed(self, key):
+        from repro.minicc import compile_source
+
+        m = compile_source(SRC, "raw")
+        with pytest.raises(SignatureError, match="attestation"):
+            sign_module(m, key)
+
+    def test_wrong_key_rejected(self, signed):
+        other = SigningKey.generate("other-vendor")
+        with pytest.raises(SignatureError, match="unknown key"):
+            verify_signature(signed.ir, signed.signature, other)
+
+    def test_forged_tag_rejected(self, signed, key):
+        forged = ModuleSignature(
+            **{**signed.signature.__dict__, "tag": "0" * 64}
+        )
+        with pytest.raises(SignatureError, match="bad signature"):
+            verify_signature(signed.ir, forged, key)
+
+    def test_keys_are_deterministic_per_id(self):
+        assert SigningKey.generate("x") == SigningKey.generate("x")
+        assert SigningKey.generate("x") != SigningKey.generate("y")
+
+
+class TestTamperDetection:
+    def test_code_tamper_detected(self, signed, key):
+        # Flip a constant inside the signed module.
+        fn = signed.ir.get_function("touch")
+        b = IRBuilder()
+        ret = fn.blocks[-1].terminator
+        for inst in fn.instructions():
+            for i, op in enumerate(inst.operands):
+                if isinstance(op, ConstantInt):
+                    inst.operands[i] = ConstantInt(op.type, op.value + 1)
+        signed.ir.metadata["tampered"] = True  # also metadata
+        with pytest.raises(SignatureError, match="digest mismatch"):
+            verify_signature(signed.ir, signed.signature, key)
+
+    def test_guard_stripping_detected(self, signed, key):
+        """The critical attack: remove guards after signing."""
+        from repro.ir.instructions import Call
+
+        for fn in signed.ir.defined_functions():
+            for block in fn.blocks:
+                block.instructions = [
+                    i for i in block.instructions
+                    if not (isinstance(i, Call) and i.is_guard)
+                ]
+        with pytest.raises(SignatureError, match="digest mismatch"):
+            verify_signature(signed.ir, signed.signature, key)
+
+    def test_attestation_forgery_detected(self, key):
+        """Claiming an unguarded module is guarded must fail."""
+        unprotected = compile_module(
+            SRC, CompileOptions(module_name="sm", protect=False, key=key)
+        )
+        protected = compile_module(
+            SRC, CompileOptions(module_name="sm", protect=True, key=key)
+        )
+        # Replay the protected module's signature onto the unprotected IR.
+        with pytest.raises(SignatureError):
+            verify_signature(unprotected.ir, protected.signature, key)
+
+
+class TestKernelEnforcement:
+    def test_strict_kernel_accepts_signed_protected(self, key):
+        kernel = Kernel(signing_key=key, require_protected_modules=True)
+        kernel.export_native("carat_guard", lambda ctx, a, s, f, m="": 1)
+        compiled = compile_module(SRC, CompileOptions(module_name="ok", key=key))
+        kernel.insmod(compiled)
+        assert "ok" in kernel.lsmod()
+
+    def test_unsigned_module_rejected(self, key):
+        kernel = Kernel(signing_key=key)
+        compiled = compile_module(SRC, CompileOptions(module_name="nosig"))
+        with pytest.raises(LoadError, match="unsigned"):
+            kernel.insmod(compiled)
+
+    def test_unprotected_module_rejected_when_required(self, key):
+        kernel = Kernel(signing_key=key, require_protected_modules=True)
+        compiled = compile_module(
+            SRC, CompileOptions(module_name="bare", protect=False, key=key)
+        )
+        with pytest.raises(LoadError, match="requires CARAT KOP"):
+            kernel.insmod(compiled)
+
+    def test_inline_asm_module_rejected(self, key):
+        kernel = Kernel(signing_key=key, require_protected_modules=True)
+        src = '__export void f(void) { __asm__("hlt"); }'
+        compiled = compile_module(src, CompileOptions(module_name="asmmod", key=key))
+        assert compiled.signature.has_inline_asm
+        with pytest.raises(LoadError, match="inline assembly"):
+            kernel.insmod(compiled)
+
+    def test_permissive_kernel_accepts_anything(self):
+        kernel = Kernel()  # no signing key configured
+        compiled = compile_module(
+            SRC, CompileOptions(module_name="casual", protect=False)
+        )
+        kernel.insmod(compiled)
+        assert "casual" in kernel.lsmod()

@@ -1,0 +1,268 @@
+"""Interpreter semantics tests at the IR level (not through the C front
+end): exact integer behaviour, memory, control flow, call dispatch."""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.ir import (
+    Function,
+    FunctionType,
+    I1,
+    I8,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    ptr,
+)
+from repro.kernel import Kernel, KernelPanic
+from repro.kernel.module_loader import CompiledModule
+from repro.vm.interp import InterpreterError
+from repro.passes import AttestationPass, PassManager
+from repro.signing import SigningKey
+
+
+def load_ir(kernel: Kernel, module: Module):
+    PassManager([AttestationPass()]).run(module)
+    return kernel.insmod(CompiledModule(ir=module))
+
+
+def run_binop(kernel, op, a, b, t=I64):
+    m = Module(f"bin_{op}_{a}_{b}")
+    fn = Function("f", FunctionType(t, [t, t]), ["a", "b"])
+    m.add_function(fn)
+    bld = IRBuilder(fn.add_block("entry"))
+    bld.ret(bld.binop(op, fn.args[0], fn.args[1]))
+    loaded = load_ir(kernel, m)
+    return kernel.run_function(loaded, "f", [a, b])
+
+
+class TestIntegerOps:
+    def test_add_wraps(self, kernel):
+        assert run_binop(kernel, "add", (1 << 64) - 1, 1) == 0
+
+    def test_sub_wraps(self, kernel):
+        assert run_binop(kernel, "sub", 0, 1) == (1 << 64) - 1
+
+    def test_mul_wraps(self, kernel):
+        assert run_binop(kernel, "mul", 1 << 33, 1 << 33) == 0
+
+    def test_sdiv_truncates_toward_zero(self, kernel):
+        minus7 = (1 << 64) - 7
+        assert kernel and run_binop(kernel, "sdiv", minus7, 2) == (1 << 64) - 3
+
+    def test_udiv(self, kernel):
+        assert run_binop(kernel, "udiv", (1 << 64) - 2, 2) == (1 << 63) - 1
+
+    def test_srem_sign(self, kernel):
+        minus7 = (1 << 64) - 7
+        assert run_binop(kernel, "srem", minus7, 3) == (1 << 64) - 1
+
+    def test_urem(self, kernel):
+        assert run_binop(kernel, "urem", 10, 3) == 1
+
+    def test_division_by_zero_panics(self, kernel):
+        with pytest.raises(KernelPanic, match="divide error"):
+            run_binop(kernel, "sdiv", 1, 0)
+
+    def test_urem_by_zero_panics(self, kernel):
+        with pytest.raises(KernelPanic, match="divide error"):
+            run_binop(kernel, "urem", 1, 0)
+
+    def test_shift_amount_masked(self, kernel):
+        # x86 semantics: shift amount taken mod width.
+        assert run_binop(kernel, "shl", 1, 64) == 1
+        assert run_binop(kernel, "shl", 1, 65) == 2
+
+    def test_ashr_sign_extends(self, kernel):
+        neg = (1 << 64) - 8
+        assert run_binop(kernel, "ashr", neg, 1) == (1 << 64) - 4
+
+    def test_lshr_zero_fills(self, kernel):
+        assert run_binop(kernel, "lshr", 1 << 63, 63) == 1
+
+    def test_i8_ops_wrap_at_8_bits(self, kernel):
+        assert run_binop(kernel, "add", 0xFF, 1, t=I8) == 0
+
+
+class TestCastsAndSelect:
+    def test_sext_trunc_zext(self, kernel):
+        m = Module("casts")
+        fn = Function("f", FunctionType(I64, [I8]), ["x"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        wide = b.cast("sext", fn.args[0], I64)
+        narrow = b.cast("trunc", wide, I32)
+        back = b.cast("zext", narrow, I64)
+        b.ret(back)
+        loaded = load_ir(kernel, m)
+        # 0x80 as i8 = -128; sext to -128; trunc keeps 0xFFFFFF80; zext.
+        assert kernel.run_function(loaded, "f", [0x80]) == 0xFFFFFF80
+
+    def test_select(self, kernel):
+        m = Module("sel")
+        fn = Function("f", FunctionType(I64, [I64, I64, I64]), ["c", "a", "b"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        cond = b.icmp("ne", fn.args[0], b.const_i64(0))
+        b.ret(b.select(cond, fn.args[1], fn.args[2]))
+        loaded = load_ir(kernel, m)
+        assert kernel.run_function(loaded, "f", [1, 10, 20]) == 10
+        assert kernel.run_function(loaded, "f", [0, 10, 20]) == 20
+
+    def test_float_roundtrip(self, kernel):
+        from repro.ir import F64
+
+        m = Module("flt")
+        fn = Function("f", FunctionType(I64, [I64]), ["x"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        fv = b.cast("sitofp", fn.args[0], F64)
+        doubled = b.binop("fmul", fv, b.const_float(F64, 2.5))
+        b.ret(b.cast("fptosi", doubled, I64))
+        loaded = load_ir(kernel, m)
+        assert kernel.run_function(loaded, "f", [4]) == 10
+
+
+class TestMemoryAndStack:
+    def test_alloca_load_store(self, kernel):
+        m = Module("mem")
+        fn = Function("f", FunctionType(I64, [I64]), ["v"])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        slot = b.alloca(I64)
+        b.store(fn.args[0], slot)
+        b.ret(b.load(slot))
+        loaded = load_ir(kernel, m)
+        assert kernel.run_function(loaded, "f", [987654321]) == 987654321
+
+    def test_stack_frames_released(self, kernel):
+        # Deep repeated calls must not leak stack space.
+        m = Module("stack")
+        fn = Function("f", FunctionType(I64, []), [])
+        m.add_function(fn)
+        b = IRBuilder(fn.add_block("entry"))
+        slot = b.alloca(I64, count=512)
+        b.store(b.const_i64(1), slot)
+        b.ret(b.load(slot))
+        loaded = load_ir(kernel, m)
+        for _ in range(100):
+            assert kernel.run_function(loaded, "f", []) == 1
+
+    def test_recursion_depth_limit_panics(self, kernel):
+        src = "__export long f(long n) { return f(n + 1); }"
+        compiled = compile_module(
+            src, CompileOptions(module_name="rec", protect=False)
+        )
+        loaded = kernel.insmod(compiled)
+        with pytest.raises(KernelPanic, match="stack overflow"):
+            kernel.run_function(loaded, "f", [0])
+
+    def test_wild_pointer_faults(self, kernel):
+        src = "__export long f(long a) { long *p = (long *)a; return *p; }"
+        compiled = compile_module(
+            src, CompileOptions(module_name="wild", protect=False)
+        )
+        loaded = kernel.insmod(compiled)
+        from repro.kernel import MemoryFault
+
+        with pytest.raises(MemoryFault):
+            kernel.run_function(loaded, "f", [0xDEAD_BEEF_0000])
+
+
+class TestControlFlowAndPhis:
+    def test_loop_phi_swap(self, kernel):
+        """Parallel phi evaluation: (a, b) = (b, a) in a loop."""
+        src = """
+        __export long f(int n) {
+            long a = 1;
+            long b = 2;
+            for (int i = 0; i < n; i++) {
+                long t = a; a = b; b = t;
+            }
+            return a * 10 + b;
+        }
+        """
+        compiled = compile_module(
+            src, CompileOptions(module_name="swap", protect=False)
+        )
+        loaded = kernel.insmod(compiled)
+        assert kernel.run_function(loaded, "f", [0]) == 12
+        assert kernel.run_function(loaded, "f", [1]) == 21
+        assert kernel.run_function(loaded, "f", [2]) == 12
+
+    def test_unreachable_panics(self, kernel):
+        m = Module("unr")
+        fn = Function("f", FunctionType(VOID, []), [])
+        m.add_function(fn)
+        IRBuilder(fn.add_block("entry")).unreachable()
+        loaded = load_ir(kernel, m)
+        with pytest.raises(KernelPanic, match="unreachable"):
+            kernel.run_function(loaded, "f", [])
+
+    def test_inline_asm_panics_at_runtime(self, kernel):
+        src = '__export int f(void) { __asm__("nop"); return 0; }'
+        compiled = compile_module(
+            src, CompileOptions(module_name="asmrun", protect=False)
+        )
+        loaded = kernel.insmod(compiled)
+        with pytest.raises(KernelPanic, match="inline assembly"):
+            kernel.run_function(loaded, "f", [])
+
+    def test_switch_dispatch(self, kernel):
+        m = Module("sw")
+        fn = Function("f", FunctionType(I64, [I64]), ["x"])
+        m.add_function(fn)
+        entry = fn.add_block("entry")
+        c10 = fn.add_block("c10")
+        c20 = fn.add_block("c20")
+        dflt = fn.add_block("dflt")
+        b = IRBuilder(entry)
+        b.switch(fn.args[0], dflt, [(10, c10), (20, c20)])
+        b.position_at_end(c10)
+        b.ret(b.const_i64(1))
+        b.position_at_end(c20)
+        b.ret(b.const_i64(2))
+        b.position_at_end(dflt)
+        b.ret(b.const_i64(0))
+        loaded = load_ir(kernel, m)
+        assert kernel.run_function(loaded, "f", [10]) == 1
+        assert kernel.run_function(loaded, "f", [20]) == 2
+        assert kernel.run_function(loaded, "f", [99]) == 0
+
+
+class TestCallDispatch:
+    def test_wrong_arity_raises(self, kernel, run_c):
+        src = "__export long f(long a) { return a; }"
+        compiled = compile_module(
+            src, CompileOptions(module_name="ar", protect=False)
+        )
+        loaded = kernel.insmod(compiled)
+        with pytest.raises(InterpreterError, match="expected 1 args"):
+            kernel.run_function(loaded, "f", [1, 2])
+
+    def test_calling_declaration_directly_raises(self, kernel):
+        kernel.export_native("ext", lambda ctx: None)
+        m = Module("dec")
+        m.declare_function("ext", FunctionType(VOID, []))
+        loaded = load_ir(kernel, m)
+        with pytest.raises(KeyError):
+            loaded.function("ext")
+
+    def test_guard_without_policy_module_panics(self, kernel, key):
+        # A protected module loaded into a kernel with no carat_guard
+        # exporter fails at link time — the paper's linking step.
+        from repro.kernel import LoadError
+
+        compiled = compile_module(
+            "long g; __export void f(void) { g = 1; }",
+            CompileOptions(module_name="orphan", protect=True),
+        )
+        with pytest.raises(LoadError, match="unresolved symbol 'carat_guard'"):
+            kernel.insmod(compiled)
+
+    def test_instruction_counter_advances(self, kernel, run_c):
+        before = kernel.vm.instructions_executed
+        run_c("__export long f(void) { return 1 + 2; }", "f")
+        assert kernel.vm.instructions_executed > before

@@ -1,0 +1,87 @@
+"""Execution-profiler tests."""
+
+import pytest
+
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.kernel import layout
+from repro.vm import Profiler
+
+
+@pytest.fixture()
+def profiled_system():
+    system = CaratKopSystem(SystemConfig(machine="r350", protect=True))
+    profiler = Profiler()
+    system.kernel.vm.profiler = profiler
+    return system, profiler
+
+
+class TestProfiler:
+    def test_per_function_attribution(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=20)
+        names = set(profiler.functions)
+        assert "e1000e_xmit_frame" in names
+        assert "tx_fill_desc" in names
+        xmit = profiler.functions["e1000e_xmit_frame"]
+        assert xmit.calls == 20
+        assert xmit.instructions > 0
+
+    def test_guard_attribution(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=10)
+        fill = profiler.functions["tx_fill_desc"]
+        assert fill.guards >= 70  # 7 descriptor stores x 10 packets
+        assert fill.stores >= 70
+
+    def test_totals_match_policy_stats_delta(self, profiled_system):
+        system, profiler = profiled_system
+        before = system.guard_stats()["checks"]  # probe-time checks
+        system.blast(size=128, count=10)
+        assert profiler.total_guards() == system.guard_stats()["checks"] - before
+
+    def test_cycles_accumulate_with_machine(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=5)
+        assert all(p.cycles > 0 for p in profiler.functions.values()
+                   if p.instructions)
+
+    def test_guard_page_histogram(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=10)
+        pages = dict(profiler.hottest_pages(20))
+        # The TX descriptor ring page must be among the hottest.
+        ring_stat = system.netdev.read_reg(0x3800)  # TDBAL
+        ring_page = (layout.direct_map_address(ring_stat)) >> layout.PAGE_SHIFT
+        assert any(abs(p - ring_page) <= 1 for p in pages)
+
+    def test_hottest_ordering(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=10)
+        hot = profiler.hottest(by="instructions", top=3)
+        assert hot[0].instructions >= hot[-1].instructions
+
+    def test_report_renders(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=5)
+        text = profiler.report()
+        assert "e1000e_xmit_frame" in text
+        assert "guard-hot pages:" in text
+
+    def test_reset(self, profiled_system):
+        system, profiler = profiled_system
+        system.blast(size=128, count=2)
+        profiler.reset()
+        assert profiler.functions == {} and profiler.guard_pages == {}
+
+    def test_profiler_without_machine_model(self):
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        profiler = Profiler()
+        system.kernel.vm.profiler = profiler
+        system.blast(size=128, count=3)
+        xmit = profiler.functions["e1000e_xmit_frame"]
+        assert xmit.instructions > 0
+        assert xmit.cycles == 0.0  # no machine: cycle column stays zero
+
+    def test_profiler_off_by_default(self):
+        system = CaratKopSystem(SystemConfig(machine=None, protect=True))
+        assert system.kernel.vm.profiler is None
