@@ -37,6 +37,15 @@ def guard_function_type() -> FunctionType:
     return FunctionType(VOID, [I8PTR, I64, I32])
 
 
+def to_signed64(value: int) -> int:
+    """Reinterpret an unsigned 64-bit pattern as signed two's complement.
+
+    Both execution engines use this for ``gep`` index arithmetic, where a
+    negative offset arrives as its wrapped unsigned representation.
+    """
+    return value - (1 << 64) if value > 0x7FFFFFFFFFFFFFFF else value
+
+
 def flags_name(flags: int) -> str:
     """Human-readable rendering of an access-flag bitmap."""
     parts = []
@@ -64,4 +73,5 @@ __all__ = [
     "META_HAS_ASM",
     "flags_name",
     "guard_function_type",
+    "to_signed64",
 ]

@@ -44,6 +44,7 @@ class WorkloadConfig:
     fidelity: str = "calibrated"  # "calibrated" | "interp"
     burst_model: bool = False
     optimize_guards: bool = False
+    engine: str = "compiled"  # "compiled" | "interp" (reference engine)
 
     @property
     def technique(self) -> str:
@@ -61,6 +62,9 @@ class Calibration:
     instructions_per_packet: float
     machine: MachineModel
     guard_count_static: int
+    #: Guard-decision cache traffic during the calibration window.
+    guard_cache_hits: int = 0
+    guard_cache_misses: int = 0
 
 
 def build_system(cfg: WorkloadConfig) -> CaratKopSystem:
@@ -70,6 +74,7 @@ def build_system(cfg: WorkloadConfig) -> CaratKopSystem:
             protect=cfg.protect,
             regions=cfg.regions,
             optimize_guards=cfg.optimize_guards,
+            engine=cfg.engine,
         )
     )
 
@@ -85,15 +90,15 @@ def calibrate(cfg: WorkloadConfig,
     timing = sys_.kernel.vm.timing
     assert timing is not None
     before = timing.snapshot()
-    checks_before = sys_.policy.stats.checks
-    scanned_before = sys_.policy.stats.entries_scanned
+    stats_before = sys_.policy.stats.as_dict()
     result = sys_.blast(
         size=cfg.size, count=cfg.calibration_packets, capture_latency=True
     )
     delta = timing.delta_since(before)
     n = cfg.calibration_packets
-    guards = sys_.policy.stats.checks - checks_before
-    scanned = sys_.policy.stats.entries_scanned - scanned_before
+    stats_now = sys_.policy.stats.as_dict()
+    guards = stats_now["checks"] - stats_before["checks"]
+    scanned = stats_now["entries_scanned"] - stats_before["entries_scanned"]
     return Calibration(
         cycles_per_packet=result.total_cycles / n,
         sendmsg_cycles=result.mean_latency,
@@ -102,6 +107,10 @@ def calibrate(cfg: WorkloadConfig,
         instructions_per_packet=delta["instructions"] / n,
         machine=machine,
         guard_count_static=sys_.driver_compiled.guard_count,
+        guard_cache_hits=(stats_now["guard_cache_hits"]
+                          - stats_before["guard_cache_hits"]),
+        guard_cache_misses=(stats_now["guard_cache_misses"]
+                            - stats_before["guard_cache_misses"]),
     )
 
 
@@ -251,6 +260,8 @@ def _throughput_figure(fid: str, title: str, machine: str, trials: int,
         if cal is not None:
             meta[f"{cfg.technique}_cycles_per_packet"] = cal.cycles_per_packet
             meta[f"{cfg.technique}_guards_per_packet"] = cal.guards_per_packet
+            meta[f"{cfg.technique}_guard_cache_hits"] = cal.guard_cache_hits
+            meta[f"{cfg.technique}_guard_cache_misses"] = cal.guard_cache_misses
     return FigureResult(fid, title, series, meta)
 
 

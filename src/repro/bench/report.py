@@ -89,6 +89,14 @@ def render_figure(result: FigureResult, width: int = 64) -> str:
                 f"  median[{name}] = {np.median(v):,.0f} cycles "
                 "(outliers included)"
             )
+    for technique in ("baseline", "carat"):
+        hits = result.meta.get(f"{technique}_guard_cache_hits")
+        misses = result.meta.get(f"{technique}_guard_cache_misses")
+        if hits is not None or misses is not None:
+            lines.append(
+                f"  guard cache[{technique}]: {hits or 0:,} hits / "
+                f"{misses or 0:,} misses (calibration window)"
+            )
     ok, detail = check_figure(result)
     lines.append(f"  paper claim: {PAPER_CLAIMS[fid]}")
     lines.append(f"  reproduction: {'PASS' if ok else 'FAIL'} — {detail}")

@@ -96,11 +96,16 @@ def policy_manager_main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--machine", default="r350", choices=["r350", "r415"])
     ap.add_argument("--regions", type=int, default=2)
+    ap.add_argument(
+        "--engine", default="compiled", choices=["interp", "compiled"],
+        help="execution engine (compiled = translate-once closures)",
+    )
     ap.add_argument("--show-stats", action="store_true")
     args = ap.parse_args(argv)
 
     system = CaratKopSystem(
-        SystemConfig(machine=args.machine, regions=args.regions)
+        SystemConfig(machine=args.machine, regions=args.regions,
+                     engine=args.engine)
     )
     print(f"booted {system.machine.name}; policy via /dev/carat:")
     print(system.policy_manager.describe())
@@ -121,6 +126,10 @@ def pktblast_main(argv: list[str] | None = None) -> int:
     ap.add_argument("--count", type=int, default=1000, help="packets to send")
     ap.add_argument("--baseline", action="store_true", help="unguarded driver")
     ap.add_argument("--regions", type=int, default=2)
+    ap.add_argument(
+        "--engine", default="compiled", choices=["interp", "compiled"],
+        help="execution engine (compiled = translate-once closures)",
+    )
     ap.add_argument("--latency", action="store_true", help="report latencies")
     ap.add_argument(
         "--profile", action="store_true",
@@ -131,7 +140,7 @@ def pktblast_main(argv: list[str] | None = None) -> int:
     system = CaratKopSystem(
         SystemConfig(
             machine=args.machine, protect=not args.baseline,
-            regions=args.regions,
+            regions=args.regions, engine=args.engine,
         )
     )
     profiler = None
@@ -154,7 +163,9 @@ def pktblast_main(argv: list[str] | None = None) -> int:
         print(f"sendmsg latency: median {mid:,.0f} cycles, "
               f"min {lat[0]:,.0f}, max {lat[-1]:,.0f}")
     stats = system.guard_stats()
-    print(f"guards: {stats['checks']:,} checks, {stats['denied']} denied")
+    print(f"guards: {stats['checks']:,} checks, {stats['denied']} denied, "
+          f"decision cache {stats['guard_cache_hits']:,} hits / "
+          f"{stats['guard_cache_misses']:,} misses")
     if profiler is not None:
         print()
         print(profiler.report())

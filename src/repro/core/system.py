@@ -41,6 +41,9 @@ class SystemConfig:
     #: Require signatures + protection at insmod.
     strict_kernel: bool = False
     ram_size: int = 64 << 20
+    #: Execution engine: "compiled" (translate-once closures, default) or
+    #: "interp" (the reference tree-walking interpreter).
+    engine: str = "compiled"
 
 
 class CaratKopSystem:
@@ -62,6 +65,7 @@ class CaratKopSystem:
             machine=machine,
             signing_key=self.signing_key if cfg.strict_kernel else None,
             require_protected_modules=cfg.strict_kernel and cfg.protect,
+            engine=cfg.engine,
         )
         index = cfg.policy_index if cfg.policy_index is not None else RegionTable()
         self.policy = CaratPolicyModule(

@@ -181,6 +181,15 @@ class Module:
         self.globals: dict[str, GlobalVariable] = {}
         self.structs: dict[str, StructType] = {}
         self.metadata: dict[str, object] = {}
+        #: Bumped whenever a pass (or any other IR surgery) rewrites the
+        #: module; execution engines that cache per-function translations
+        #: key their cache entries on this counter.
+        self.generation = 0
+
+    def bump_generation(self) -> int:
+        """Mark the IR as changed, invalidating cached translations."""
+        self.generation += 1
+        return self.generation
 
     # -- functions ----------------------------------------------------------
 

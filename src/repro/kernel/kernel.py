@@ -38,6 +38,7 @@ class Kernel:
         machine: Optional["MachineModel"] = None,
         signing_key: Optional[SigningKey] = None,
         require_protected_modules: bool = False,
+        engine: str = "compiled",
     ):
         self.ram = PhysicalMemory(ram_size)
         self.address_space = KernelAddressSpace(self.ram)
@@ -56,6 +57,7 @@ class Kernel:
         self.signing_key = signing_key
         self.require_protected_modules = require_protected_modules
         self.machine = machine
+        self.engine = engine
         self._dmesg: list[str] = []
         self.panicked: Optional[str] = None
         self._vm: Optional["Interpreter"] = None
@@ -88,9 +90,9 @@ class Kernel:
     @property
     def vm(self) -> "Interpreter":
         if self._vm is None:
-            from ..vm.interp import Interpreter
+            from ..vm import make_engine
 
-            self._vm = Interpreter(self, machine=self.machine)
+            self._vm = make_engine(self.engine, self, machine=self.machine)
         return self._vm
 
     def run_function(

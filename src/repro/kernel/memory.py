@@ -117,6 +117,9 @@ class KernelAddressSpace:
         self.ram = ram
         self._mappings: list[_Mapping] = []
         self._bases: list[int] = []
+        #: Bumped on every map/unmap; lets callers (the compiled engine's
+        #: load/store sites) memoize a ``find`` result safely.
+        self.version = 0
         self.map_linear(
             layout.DIRECT_MAP_BASE, ram.size, phys_base=0, name="direct-map"
         )
@@ -142,6 +145,7 @@ class KernelAddressSpace:
             raise KeyError(f"no mapping at {base:#x}")
         del self._mappings[idx]
         del self._bases[idx]
+        self.version += 1
 
     def _insert(self, m: _Mapping) -> None:
         idx = bisect.bisect_left(self._bases, m.base)
@@ -151,6 +155,7 @@ class KernelAddressSpace:
             raise ValueError(f"mapping {m.name} overlaps {self._mappings[idx].name}")
         self._mappings.insert(idx, m)
         self._bases.insert(idx, m.base)
+        self.version += 1
 
     def find(self, addr: int) -> Optional[_Mapping]:
         idx = bisect.bisect_right(self._bases, addr) - 1

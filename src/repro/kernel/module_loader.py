@@ -68,6 +68,12 @@ class LoadedModule:
     #: Names of modules whose exported data this module references.
     data_imports: list[str] = field(default_factory=list)
     refcount: int = 0
+    #: Per-engine translation caches: each execution engine stores its
+    #: translated functions here, keyed by the engine instance itself
+    #: (see :class:`repro.vm.compiled.CompiledEngine`).  Entries are
+    #: additionally keyed on ``ir.generation``, so IR rewrites invalidate
+    #: them; :meth:`invalidate_translations` forces the same.
+    translations: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -85,6 +91,14 @@ class LoadedModule:
         if fn is None or fn.is_declaration:
             raise KeyError(f"module {self.name} does not define @{name}")
         return fn
+
+    def invalidate_translations(self) -> None:
+        """Drop every engine's cached translation of this module's code.
+
+        Call after mutating the loaded IR in place (tests and tooling do
+        this; the compiler pipeline bumps the generation itself)."""
+        self.ir.bump_generation()
+        self.translations.clear()
 
 
 class ModuleLoader:

@@ -45,6 +45,8 @@ class PassManager:
             did = p.run(module)
             self.log.append((p.name, did))
             changed |= did
+            if did:
+                module.bump_generation()
             if self.verify_each:
                 verify_module(module)
         return changed

@@ -58,7 +58,8 @@ MODULE_NAME = "carat_kop_policy"
 
 class PolicyStats:
     __slots__ = ("checks", "allowed", "denied", "entries_scanned",
-                 "intrinsic_checks", "intrinsic_denied")
+                 "intrinsic_checks", "intrinsic_denied",
+                 "guard_cache_hits", "guard_cache_misses")
 
     def __init__(self) -> None:
         self.checks = 0
@@ -67,9 +68,35 @@ class PolicyStats:
         self.entries_scanned = 0
         self.intrinsic_checks = 0
         self.intrinsic_denied = 0
+        # Decision-cache traffic (only moves for pure_check indexes).
+        self.guard_cache_hits = 0
+        self.guard_cache_misses = 0
 
     def as_dict(self) -> dict[str, int]:
         return {s: getattr(self, s) for s in self.__slots__}
+
+
+class _GuardCache:
+    """Memoized guard decisions for one policy index.
+
+    Valid only while the index's ``(epoch, default_allow)`` token is
+    unchanged; any region add/remove/clear bumps the epoch and the next
+    guard rebuilds from an empty dict.  Stores the full ``(allowed,
+    scanned)`` decision so the caller's stats and the machine model's
+    per-entry guard cost are identical with and without the cache.
+    """
+
+    __slots__ = ("index", "epoch", "default_allow", "decisions")
+
+    #: Safety valve for scan-everything workloads; steady-state driver
+    #: loops touch a few dozen distinct (addr, size, flags) keys.
+    MAX_ENTRIES = 1 << 16
+
+    def __init__(self, index):
+        self.index = index
+        self.epoch = index.epoch
+        self.default_allow = index.default_allow
+        self.decisions: dict = {}
 
 
 class CaratPolicyModule:
@@ -94,6 +121,16 @@ class CaratPolicyModule:
         #: could be consulted" per module).  A module with an entry here
         #: is checked against ITS table; others use the global index.
         self.module_indexes: dict[str, object] = {}
+        #: Guard-decision caches, one per pure-check index, keyed by
+        #: ``id(index)`` (each cache holds a strong ref to its index, so
+        #: ids cannot be reused while an entry is live; identity is
+        #: re-verified on lookup anyway).
+        self._guard_caches: dict[int, _GuardCache] = {}
+        # One-entry binding memo for the hot path: the last index checked
+        # and its cache (None for impure indexes).  Re-resolved whenever a
+        # guard sees a different index object.
+        self._fast_index = None
+        self._fast_cache: Optional[_GuardCache] = None
         self._installed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -135,6 +172,20 @@ class CaratPolicyModule:
 
     # -- the guard (hot path) -------------------------------------------------
 
+    def _bind_cache(self, index) -> Optional[_GuardCache]:
+        """Resolve the decision cache for ``index`` (``None`` if the
+        index is impure) and memoize the binding for the next guard."""
+        if getattr(index, "pure_check", False):
+            cache = self._guard_caches.get(id(index))
+            if cache is None or cache.index is not index:
+                cache = _GuardCache(index)
+                self._guard_caches[id(index)] = cache
+        else:
+            cache = None
+        self._fast_index = index
+        self._fast_cache = cache
+        return cache
+
     def _guard(self, ctx, addr: int, size: int, flags: int,
                module_name: str = "?") -> int:
         """``carat_guard(addr, size, flags)``; returns entries scanned."""
@@ -142,8 +193,30 @@ class CaratPolicyModule:
             self.module_indexes.get(module_name, self.index)
             if self.module_indexes else self.index
         )
-        allowed, scanned = index.check(addr, size, flags)
         stats = self.stats
+        if index is self._fast_index:
+            cache = self._fast_cache
+        else:
+            cache = self._bind_cache(index)
+        if cache is not None:
+            if (cache.epoch != index.epoch
+                    or cache.default_allow != index.default_allow):
+                cache.epoch = index.epoch
+                cache.default_allow = index.default_allow
+                cache.decisions.clear()
+            key = (addr, size, flags)
+            decision = cache.decisions.get(key)
+            if decision is not None:
+                stats.guard_cache_hits += 1
+                allowed, scanned = decision
+            else:
+                stats.guard_cache_misses += 1
+                allowed, scanned = index.check(addr, size, flags)
+                if len(cache.decisions) >= cache.MAX_ENTRIES:
+                    cache.decisions.clear()
+                cache.decisions[key] = (allowed, scanned)
+        else:
+            allowed, scanned = index.check(addr, size, flags)
         stats.checks += 1
         stats.entries_scanned += scanned
         if allowed:

@@ -41,11 +41,17 @@ class _NonOverlappingBase:
     """Shared bookkeeping for indexes that require disjoint regions."""
 
     supports_overlap = False
+    #: Whether ``check`` is a pure function of (regions, default_allow);
+    #: structures that mutate on lookup must set this False so the
+    #: guard-decision cache bypasses them (see policy/module.py).
+    pure_check = True
 
     def __init__(self, default_allow: bool = False, max_regions: int = MAX_REGIONS):
         self.default_allow = default_allow
         self.max_regions = max_regions
         self._regions: list[Region] = []  # sorted by base
+        #: Bumped on every mutation; guard-decision caches key on it.
+        self.epoch = 0
 
     def _check_insert(self, region: Region) -> int:
         if len(self._regions) >= self.max_regions:
@@ -65,12 +71,14 @@ class _NonOverlappingBase:
         for i, r in enumerate(self._regions):
             if r.base == base and r.length == length:
                 del self._regions[i]
+                self.epoch += 1
                 self._on_mutate()
                 return True
         return False
 
     def clear(self) -> None:
         self._regions.clear()
+        self.epoch += 1
         self._on_mutate()
 
     def regions(self) -> list[Region]:
@@ -96,6 +104,7 @@ class SortedRegionIndex(_NonOverlappingBase):
         idx = self._check_insert(region)
         self._regions.insert(idx, region)
         self._bases.insert(idx, region.base)
+        self.epoch += 1
         return idx
 
     def _on_mutate(self) -> None:
@@ -141,6 +150,7 @@ class SplayRegionIndex(_NonOverlappingBase):
     """
 
     name = "splay-tree"
+    pure_check = False  # check() splays: lookups restructure the tree
 
     def __init__(self, default_allow: bool = False, max_regions: int = MAX_REGIONS):
         super().__init__(default_allow, max_regions)
@@ -163,6 +173,7 @@ class SplayRegionIndex(_NonOverlappingBase):
                 node.left = self._root
                 self._root.right = None
             self._root = node
+        self.epoch += 1
         return idx
 
     def _on_mutate(self) -> None:
@@ -322,6 +333,7 @@ class AMQFilterIndex(_NonOverlappingBase):
         idx = self._check_insert(region)
         self._regions.insert(idx, region)
         self._insert_structures(region)
+        self.epoch += 1
         return idx
 
     def _insert_structures(self, region: Region) -> None:
@@ -380,6 +392,7 @@ class LSHBucketIndex(_NonOverlappingBase):
         idx = self._check_insert(region)
         self._regions.insert(idx, region)
         self._insert_structures(region)
+        self.epoch += 1
         return idx
 
     def _insert_structures(self, region: Region) -> None:
@@ -421,6 +434,7 @@ class CachedIndex:
     """
 
     supports_overlap = False
+    pure_check = False  # check() updates the one-entry cache + hit counters
 
     def __init__(self, inner):
         self.inner = inner

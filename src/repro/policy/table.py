@@ -31,12 +31,17 @@ class RegionTable:
 
     name = "linear-table"
     supports_overlap = True
+    #: ``check`` neither mutates the structure nor keeps per-call state,
+    #: so callers may memoize its decisions per :attr:`epoch`.
+    pure_check = True
 
     def __init__(self, default_allow: bool = False,
                  max_regions: int = MAX_REGIONS):
         self.default_allow = default_allow
         self.max_regions = max_regions
         self._regions: list[Region] = []
+        #: Bumped on every mutation; guard-decision caches key on it.
+        self.epoch = 0
 
     # -- mutation ----------------------------------------------------------
 
@@ -47,6 +52,7 @@ class RegionTable:
                 f"policy table is limited to {self.max_regions} regions"
             )
         self._regions.append(region)
+        self.epoch += 1
         return len(self._regions) - 1
 
     def remove(self, base: int, length: int) -> bool:
@@ -54,11 +60,13 @@ class RegionTable:
         for i, r in enumerate(self._regions):
             if r.base == base and r.length == length:
                 del self._regions[i]
+                self.epoch += 1
                 return True
         return False
 
     def clear(self) -> None:
         self._regions.clear()
+        self.epoch += 1
 
     # -- queries --------------------------------------------------------------
 

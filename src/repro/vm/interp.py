@@ -181,9 +181,7 @@ class Interpreter:
                         self._store(inst, env, module, mem)
                     elif kind is Gep:
                         base = self._eval(inst.base, env, module)
-                        index = self._eval(inst.index, env, module)
-                        if index > 0x7FFFFFFFFFFFFFFF:
-                            index -= 1 << 64
+                        index = abi.to_signed64(self._eval(inst.index, env, module))
                         env[id(inst)] = (
                             base + index * inst.scale + inst.displacement
                         ) & _MASK64
@@ -456,6 +454,12 @@ class Interpreter:
         if inst.is_guard or callee.name == abi.GUARD_SYMBOL:
             return self._guard_call(inst, env, module)
         args = [self._eval(a, env, module) for a in inst.args]
+        return self._dispatch_call(inst, module, args)
+
+    def _dispatch_call(self, inst: Call, module: LoadedModule, args: list):
+        """Call dispatch after argument evaluation (shared with the
+        compiled engine, which evaluates operands through register slots)."""
+        callee = inst.callee
         if self.timing is not None:
             self.timing.calls += 1
         if not callee.is_declaration:
@@ -490,6 +494,12 @@ class Interpreter:
         addr = self._eval(inst.args[0], env, module)
         size = self._eval(inst.args[1], env, module)
         flags = self._eval(inst.args[2], env, module)
+        return self._dispatch_guard(module, addr, size, flags)
+
+    def _dispatch_guard(self, module: LoadedModule, addr: int, size: int,
+                        flags: int):
+        """Guard dispatch after argument evaluation (shared with the
+        compiled engine): late re-link, native/IR policy, guard timing."""
         self.guard_checks += 1
         sym = module.imports.get(abi.GUARD_SYMBOL)
         if sym is None:
