@@ -135,12 +135,18 @@ def pktblast_main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="per-function execution profile (instructions, guards, cycles)",
     )
+    ap.add_argument(
+        "--enforce-mode", default=None,
+        choices=["audit", "panic", "eject", "isolate"],
+        help="what a guard denial does (default: panic, the paper behaviour)",
+    )
     args = ap.parse_args(argv)
 
     system = CaratKopSystem(
         SystemConfig(
             machine=args.machine, protect=not args.baseline,
             regions=args.regions, engine=args.engine,
+            enforce_mode=args.enforce_mode,
         )
     )
     profiler = None
@@ -169,6 +175,79 @@ def pktblast_main(argv: list[str] | None = None) -> int:
     if profiler is not None:
         print()
         print(profiler.report())
+    return 0
+
+
+def soak_main(argv: list[str] | None = None) -> int:
+    """Run the violation->eject->recovery soak (fault-injection harness)."""
+    import json
+
+    from .faults import FaultInjector, run_soak
+    from .faults.soak import SoakError
+
+    ap = argparse.ArgumentParser(
+        prog="caratkop-soak",
+        description=(
+            "repeatedly violate policy in eject mode under device fault "
+            "injection; audit every rollback for leaks"
+        ),
+    )
+    ap.add_argument("--cycles", type=int, default=50)
+    ap.add_argument(
+        "--machine", default=None, choices=["r350", "r415"],
+        help="machine model (default: untimed functional run)",
+    )
+    ap.add_argument(
+        "--engine", default="compiled", choices=["interp", "compiled"],
+    )
+    ap.add_argument("--size", type=int, default=128, help="frame bytes")
+    ap.add_argument("--count", type=int, default=20,
+                    help="packets per recovery blast")
+    ap.add_argument("--mmio-garble-period", type=int, default=7)
+    ap.add_argument("--dma-stall-period", type=int, default=13)
+    ap.add_argument("--irq-drop-period", type=int, default=5)
+    ap.add_argument("--xmit-fail-period", type=int, default=11)
+    ap.add_argument("--report", metavar="FILE",
+                    help="write the JSON violation/recovery report here")
+    args = ap.parse_args(argv)
+
+    injector = FaultInjector(
+        mmio_garble_period=args.mmio_garble_period,
+        dma_stall_period=args.dma_stall_period,
+        irq_drop_period=args.irq_drop_period,
+        xmit_fail_period=args.xmit_fail_period,
+    )
+    try:
+        report = run_soak(
+            cycles=args.cycles, machine=args.machine, engine=args.engine,
+            blast_size=args.size, blast_count=args.count, injector=injector,
+        )
+        failed = None
+    except SoakError as e:
+        report = e.report
+        failed = str(e)
+        report["failure"] = failed
+        report["injector"] = injector.report()
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+    print(
+        f"soak: {report['cycles_completed']}/{report['cycles_requested']} "
+        f"cycles, {report['ejections']} ejections, "
+        f"{report['leaked_bytes_total']} bytes leaked, "
+        f"{report['delivered_frames']} frames delivered post-recovery"
+    )
+    if report.get("injector"):
+        inj = report["injector"]
+        print(
+            f"faults injected: {inj['garbled_reads']} garbled reads, "
+            f"{inj['stalled_frames']} DMA stalls, "
+            f"{inj['dropped_irqs']} dropped irqs, "
+            f"{inj['failed_xmits']} xmit transients"
+        )
+    if failed is not None:
+        print(f"FAILED: {failed}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -38,6 +38,9 @@ class SystemConfig:
     regions: int = 2
     #: Enforce (panic) vs audit-only.
     enforce: bool = True
+    #: Enforcement mode: "audit", "panic", "eject", or "isolate".  None
+    #: derives it from ``enforce`` (panic/audit — the paper behaviour).
+    enforce_mode: Optional[str] = None
     #: Require signatures + protection at insmod.
     strict_kernel: bool = False
     ram_size: int = 64 << 20
@@ -69,7 +72,8 @@ class CaratKopSystem:
         )
         index = cfg.policy_index if cfg.policy_index is not None else RegionTable()
         self.policy = CaratPolicyModule(
-            self.kernel, index=index, enforce=cfg.enforce
+            self.kernel, index=index, enforce=cfg.enforce,
+            mode=cfg.enforce_mode,
         ).install()
         self.policy_manager = PolicyManager(self.kernel)
         if cfg.regions == 2:
@@ -113,6 +117,22 @@ class CaratKopSystem:
 
     def guard_stats(self) -> dict[str, int]:
         return self.policy.stats.as_dict()
+
+    def reload_driver(self) -> LoadedModule:
+        """Re-insert the e1000e driver after an eject and rebuild the
+        netdev/socket/blaster plumbing on top of it.  The recovery half
+        of a violation->eject->re-insmod cycle; the caller must lift the
+        quarantine first (``policy_manager.unquarantine``)."""
+        machine = self.machine
+        self.driver = self.kernel.insmod(self.driver_compiled)
+        self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
+        self.netdev.probe()
+        self.socket = RawPacketSocket(
+            self.kernel, self.netdev, machine,
+            max_retries=self.socket.max_retries,
+        )
+        self.blaster = PacketBlaster(self.socket)
+        return self.driver
 
     def teardown(self) -> None:
         self.netdev.remove()

@@ -57,6 +57,10 @@ class E1000EDevice:
         self.phys_base = kernel.register_mmio(self, regs.BAR_SIZE, "e1000e")
         #: Interrupt line (assigned by the "PCI subsystem" at attach time).
         self.irq_line = kernel.irq.allocate_line()
+        #: Fault-injection hook (see :mod:`repro.faults`): may garble
+        #: telemetry-register reads and stall the DMA wire model.  None =
+        #: healthy hardware.
+        self.fault_injector = None
         self.reset()
 
     # -- device state --------------------------------------------------------
@@ -109,6 +113,10 @@ class E1000EDevice:
     # -- MMIO interface -----------------------------------------------------------
 
     def mmio_read(self, offset: int, size: int) -> int:
+        if self.fault_injector is not None:
+            garbled = self.fault_injector.mmio_garble(offset)
+            if garbled is not None:
+                return garbled
         if offset == regs.STATUS:
             return regs.STATUS_LU | regs.STATUS_FD
         if offset == regs.CTRL:
@@ -239,6 +247,8 @@ class E1000EDevice:
                 self._master_abort(f"payload fetch at {buf_addr:#x}")
                 return
             wire_at += self._cycles_for_frame(length)
+            if self.fault_injector is not None:
+                wire_at += self.fault_injector.dma_stall_cycles(length)
             self._in_flight.append((wire_at, next_fetch))
             self.sink.deliver(payload)
             self.gptc += 1

@@ -15,6 +15,7 @@ from typing import Union
 from ..kernel.kernel import Kernel
 from ..kernel.module_loader import LoadedModule
 from ..net.frame import ETH_ZLEN, EthernetFrame
+from . import regs
 from .device import E1000EDevice
 
 # errno values the driver returns (negative).
@@ -46,7 +47,30 @@ class E1000ENetDev:
         self._probed = False
         #: Frames the driver handed up through netif_rx (newest last).
         self.rx_queue: list[bytes] = []
+        #: Fault-injection hook (see :mod:`repro.faults`): may interpose
+        #: transient stack-level xmit failures.  None = healthy path.
+        self.fault_injector = None
         kernel.netif_rx_handler = self._netif_rx
+        # Slot-keyed: re-probing after an eject replaces the hook instead
+        # of stacking a stale one per recovery cycle.
+        kernel.register_eject_hook(module.name, self._on_eject, slot="netdev")
+
+    def _on_eject(self, loaded: LoadedModule) -> None:
+        """Quiesce the hardware before the journal frees the driver's
+        rings: stop both DMA engines, mask interrupts, and detach the
+        netif_rx path, so no in-flight work touches rolled-back memory."""
+        dev = self.device
+        dev.tctl &= ~regs.TCTL_EN
+        dev.rctl &= ~regs.RCTL_EN
+        dev.ims = 0
+        dev.icr = 0
+        dev._in_flight.clear()
+        if self.kernel.netif_rx_handler is self._netif_rx:
+            self.kernel.netif_rx_handler = None
+        self._probed = False
+        self.kernel.dmesg(
+            f"e1000e netdev: quiesced after eject of {loaded.name}"
+        )
 
     def _netif_rx(self, ctx, data: int, length: int) -> None:
         """The core network stack's receive entry: copy the frame out of
@@ -82,6 +106,8 @@ class E1000ENetDev:
         writes the pad bytes itself, under guards).
         """
         raw = frame.encode() if isinstance(frame, EthernetFrame) else bytes(frame)
+        if self.fault_injector is not None and self.fault_injector.xmit_transient():
+            return -EBUSY
         skb_len = max(len(raw), ETH_ZLEN)
         skb = self.kernel.kmalloc_allocator.kmalloc(skb_len)
         # Core-kernel copy of the payload into the skb: native, unguarded.

@@ -1,0 +1,142 @@
+"""Deterministic device- and driver-path fault injection.
+
+Faults are *period-based*, not probabilistic: every Nth eligible event
+faults (period 0 = never).  Runs are therefore exactly reproducible —
+the property every differential test in this repo is built on — while
+still interleaving faults with normal traffic.
+
+Injection points (all hooks default to ``None`` on the host objects, so
+a system without an attached injector pays nothing):
+
+- :meth:`mmio_garble` — reads of telemetry-class NIC registers (packet
+  and octet counters) return all-ones, the classic value a PCIe master
+  abort feeds the CPU.  Control/ring registers are never garbled: a
+  flaky *counter* models a marginal link without breaking the TX/RX
+  protocol the soak's invariants depend on.
+- :meth:`dma_stall_cycles` — extra wire-drain latency per DMA'd frame
+  (a congested or retraining link), which is also how TX-ring-full
+  storms are provoked: stalled drains back the ring up at line rate.
+- :meth:`drop_irq` — swallow every Nth interrupt (lost edge).
+- :meth:`xmit_transient` — the netdev layer reports EBUSY before even
+  reaching the driver (qdisc backpressure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..e1000e import regs
+
+#: Registers eligible for garbling: pure telemetry counters.
+_TELEMETRY_OFFSETS = frozenset(
+    {regs.GPTC, regs.TOTL, regs.TOTH, regs.GPRC, regs.MPC}
+)
+
+_ALL_ONES = 0xFFFF_FFFF
+
+
+class FaultInjector:
+    """Deterministic fault schedules for the NIC, IRQ path, and netdev."""
+
+    def __init__(
+        self,
+        *,
+        mmio_garble_period: int = 0,
+        dma_stall_period: int = 0,
+        dma_stall_cycles: float = 50_000.0,
+        irq_drop_period: int = 0,
+        xmit_fail_period: int = 0,
+    ):
+        for name, period in (
+            ("mmio_garble_period", mmio_garble_period),
+            ("dma_stall_period", dma_stall_period),
+            ("irq_drop_period", irq_drop_period),
+            ("xmit_fail_period", xmit_fail_period),
+        ):
+            if period < 0:
+                raise ValueError(f"{name} must be >= 0")
+        self.mmio_garble_period = mmio_garble_period
+        self.dma_stall_period = dma_stall_period
+        self._dma_stall_cycles = float(dma_stall_cycles)
+        self.irq_drop_period = irq_drop_period
+        self.xmit_fail_period = xmit_fail_period
+        # Eligible-event counters (the deterministic schedules).
+        self._telemetry_reads = 0
+        self._dma_frames = 0
+        self._irqs = 0
+        self._xmits = 0
+        # Injected-fault counters for the report.
+        self.garbled_reads = 0
+        self.stalled_frames = 0
+        self.dropped_irqs = 0
+        self.failed_xmits = 0
+
+    # -- hook implementations (called by the instrumented subsystems) -------
+
+    def mmio_garble(self, offset: int) -> Optional[int]:
+        """All-ones for every Nth telemetry read; None = read normally."""
+        if self.mmio_garble_period == 0 or offset not in _TELEMETRY_OFFSETS:
+            return None
+        self._telemetry_reads += 1
+        if self._telemetry_reads % self.mmio_garble_period == 0:
+            self.garbled_reads += 1
+            return _ALL_ONES
+        return None
+
+    def dma_stall_cycles(self, length: int) -> float:
+        """Extra wire cycles for every Nth DMA'd frame."""
+        if self.dma_stall_period == 0:
+            return 0.0
+        self._dma_frames += 1
+        if self._dma_frames % self.dma_stall_period == 0:
+            self.stalled_frames += 1
+            return self._dma_stall_cycles
+        return 0.0
+
+    def drop_irq(self, line: int) -> bool:
+        """True = swallow this interrupt delivery."""
+        if self.irq_drop_period == 0:
+            return False
+        self._irqs += 1
+        if self._irqs % self.irq_drop_period == 0:
+            self.dropped_irqs += 1
+            return True
+        return False
+
+    def xmit_transient(self) -> bool:
+        """True = the stack reports a transient EBUSY for this frame."""
+        if self.xmit_fail_period == 0:
+            return False
+        self._xmits += 1
+        if self._xmits % self.xmit_fail_period == 0:
+            self.failed_xmits += 1
+            return True
+        return False
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, system) -> "FaultInjector":
+        """Hook into a :class:`~repro.core.system.CaratKopSystem`."""
+        system.device.fault_injector = self
+        system.netdev.fault_injector = self
+        system.kernel.irq.fault_injector = self
+        return self
+
+    def detach(self, system) -> None:
+        if system.device.fault_injector is self:
+            system.device.fault_injector = None
+        if system.netdev.fault_injector is self:
+            system.netdev.fault_injector = None
+        if system.kernel.irq.fault_injector is self:
+            system.kernel.irq.fault_injector = None
+
+    def report(self) -> dict[str, int]:
+        return {
+            "garbled_reads": self.garbled_reads,
+            "stalled_frames": self.stalled_frames,
+            "dropped_irqs": self.dropped_irqs,
+            "failed_xmits": self.failed_xmits,
+        }
+
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,200 @@
+"""The violation -> eject -> rollback -> re-insmod recovery soak.
+
+Drives a hostile module through repeated policy violations in ``eject``
+mode while fault injection degrades the NIC underneath, and audits the
+kernel after every ejection: zero leaked kmalloc bytes, zero orphaned
+IRQ lines or timers, an empty journal, and a driver that still moves
+packets.  This is the acceptance harness for the graceful-enforcement
+subsystem (paper §5's "cleanly handle forbidden accesses", made
+repeatable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.pipeline import CompileOptions, compile_module
+from ..core.system import CaratKopSystem, SystemConfig
+from ..kernel.module_loader import LoadError
+from .injector import FaultInjector
+
+#: A module that accrues every journal-tracked side-effect kind at init
+#: (allocations, an IRQ line, a pending timer, an exported helper), then
+#: violates the policy on demand: ``attack(addr)`` stores to a forbidden
+#: address, tripping a guard mid-call with all that state live.
+HOSTILE_MODULE = r"""
+extern void *kmalloc(long size, int flags);
+extern void kfree(void *p);
+extern int request_irq(int line, char *handler);
+extern long mod_timer(char *handler, long delay_us, long arg);
+extern int printk(char *fmt, ...);
+
+long *scratch;
+long *stash;
+long ticks;
+
+__export void hostile_isr(long line) {
+    scratch[0] = scratch[0] + 1;
+}
+
+__export void hostile_tick(long arg) {
+    ticks = ticks + 1;
+    mod_timer("hostile_tick", 1000, arg);
+}
+
+__export long hostile_ticks(void) { return ticks; }
+
+int init_module(void) {
+    scratch = (long *)kmalloc(256, 0);
+    stash = (long *)kmalloc(1024, 0);
+    if (scratch == null || stash == null) { return -1; }
+    scratch[0] = 0;
+    ticks = 0;
+    if (request_irq(40, "hostile_isr") != 0) { return -1; }
+    if (mod_timer("hostile_tick", 1000, 0) <= 0) { return -1; }
+    printk("hostile: armed\n");
+    return 0;
+}
+
+__export long attack(long addr) {
+    long *p = (long *)addr;
+    *p = 42;
+    return *p;
+}
+"""
+
+HOSTILE_NAME = "hostile"
+
+#: A user-half address the two-region policy always denies.
+ATTACK_ADDR = 0x1000
+
+_EFAULT = 14
+
+
+class SoakError(AssertionError):
+    """An invariant failed mid-soak; the report so far is attached."""
+
+    def __init__(self, message: str, report: dict):
+        super().__init__(message)
+        self.report = report
+
+
+def run_soak(
+    cycles: int = 50,
+    machine: Optional[str] = None,
+    engine: str = "compiled",
+    blast_size: int = 128,
+    blast_count: int = 20,
+    injector: Optional[FaultInjector] = None,
+) -> dict:
+    """Run ``cycles`` violation->eject->recovery cycles; returns a report.
+
+    Raises :class:`SoakError` on the first violated invariant.
+    """
+    system = CaratKopSystem(SystemConfig(
+        machine=machine, protect=True, enforce_mode="eject", engine=engine,
+    ))
+    kernel = system.kernel
+    if injector is None:
+        injector = FaultInjector(
+            mmio_garble_period=7,
+            dma_stall_period=13,
+            irq_drop_period=5,
+            xmit_fail_period=11,
+        )
+    injector.attach(system)
+    system.socket.max_retries = 3
+
+    hostile = compile_module(
+        HOSTILE_MODULE,
+        CompileOptions(module_name=HOSTILE_NAME, key=system.signing_key),
+    )
+
+    report: dict = {
+        "cycles_requested": cycles,
+        "cycles_completed": 0,
+        "ejections": 0,
+        "leaked_bytes_total": 0,
+        "delivered_frames": 0,
+        "per_cycle": [],
+    }
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            raise SoakError(message, report)
+
+    for cycle in range(cycles):
+        if cycle > 0:
+            check(
+                system.policy_manager.unquarantine(HOSTILE_NAME),
+                f"cycle {cycle}: quarantine was not in place to lift",
+            )
+        alloc_base = kernel.kmalloc_allocator.snapshot()
+        irq_base = len(kernel.irq._actions)
+        timer_base = kernel.timers.pending()
+
+        loaded = kernel.insmod(hostile)
+        check(
+            kernel.journal.depth(HOSTILE_NAME) >= 4,
+            f"cycle {cycle}: journal missed the module's side effects",
+        )
+
+        rc = kernel.run_function(loaded, "attack", [ATTACK_ADDR])
+        check(rc == -_EFAULT,
+              f"cycle {cycle}: attack returned {rc}, wanted -EFAULT")
+        check(HOSTILE_NAME not in kernel.lsmod(),
+              f"cycle {cycle}: module still resident after eject")
+        check(loaded.ejected, f"cycle {cycle}: eject flag not set")
+        check(kernel.panicked is None,
+              f"cycle {cycle}: kernel panicked ({kernel.panicked})")
+
+        alloc_now = kernel.kmalloc_allocator.snapshot()
+        leaked = alloc_now[1] - alloc_base[1]
+        check(leaked == 0, f"cycle {cycle}: leaked {leaked} kmalloc bytes")
+        check(alloc_now[0] == alloc_base[0],
+              f"cycle {cycle}: leaked allocations "
+              f"({alloc_now[0] - alloc_base[0]})")
+        check(len(kernel.irq._actions) == irq_base,
+              f"cycle {cycle}: orphaned IRQ lines")
+        check(kernel.timers.pending() == timer_base,
+              f"cycle {cycle}: orphaned timers")
+        check(kernel.journal.depth(HOSTILE_NAME) == 0,
+              f"cycle {cycle}: journal not drained")
+
+        if cycle == 0:
+            # The quarantine must hold until explicitly lifted.
+            try:
+                kernel.insmod(hostile)
+            except LoadError:
+                pass
+            else:
+                check(False, "quarantined module was allowed back in")
+
+        sunk_before = system.sink.packets
+        system.blast(size=blast_size, count=blast_count)
+        delivered = system.sink.packets - sunk_before
+        check(delivered == blast_count,
+              f"cycle {cycle}: driver moved {delivered}/{blast_count} frames")
+        report["delivered_frames"] += delivered
+
+        report["ejections"] += 1
+        report["cycles_completed"] = cycle + 1
+        report["per_cycle"].append({
+            "cycle": cycle,
+            "rc": rc,
+            "leaked_bytes": leaked,
+            "delivered": delivered,
+            "rollback": kernel.journal.rollbacks[-1],
+        })
+
+    report["violation_faults"] = kernel.violation_faults
+    report["entry_refusals"] = kernel.entry_refusals
+    report["irqs_dropped_by_injector"] = kernel.irq.dropped
+    report["injector"] = injector.report()
+    report["guard_stats"] = system.guard_stats()
+    injector.detach(system)
+    return report
+
+
+__all__ = ["ATTACK_ADDR", "HOSTILE_MODULE", "HOSTILE_NAME", "SoakError",
+           "run_soak"]

@@ -1,12 +1,13 @@
 """Simulated Linux kernel substrate: memory, loader, devices, panic."""
 
 from . import layout
-from .chardev import DeviceRegistry, IoctlError
+from .chardev import DeviceRegistry, IoctlError, ModuleCharDevice
+from .journal import TransactionJournal
 from .kalloc import KmallocAllocator, PageAllocator
 from .kernel import Kernel
 from .memory import KernelAddressSpace, MMIODevice, PhysicalMemory
 from .module_loader import CompiledModule, LoadError, LoadedModule, ModuleLoader
-from .panic import KernelPanic, MemoryFault
+from .panic import KernelPanic, MemoryFault, ViolationFault
 from .symbols import Symbol, SymbolTable
 
 __all__ = [
@@ -21,10 +22,13 @@ __all__ = [
     "LoadedModule",
     "MMIODevice",
     "MemoryFault",
+    "ModuleCharDevice",
     "ModuleLoader",
     "PageAllocator",
     "PhysicalMemory",
     "Symbol",
     "SymbolTable",
+    "TransactionJournal",
+    "ViolationFault",
     "layout",
 ]

@@ -6,11 +6,21 @@ Figure 1).  This module provides the registry and dispatch for that
 path: a device registers under a ``/dev`` name and receives
 ``ioctl(cmd, arg)`` calls from user space (arg is a bytes payload, like a
 copied-in struct).
+
+Registrations carry an optional *owner* (the registering module's name)
+so the transaction journal can attribute them and module ejection can
+withdraw them; :class:`ModuleCharDevice` is the loadable-module flavour,
+dispatching ioctls to an IR handler function under guards.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+import struct
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+    from .module_loader import LoadedModule
 
 
 class IoctlError(OSError):
@@ -27,6 +37,7 @@ ENOENT = 2
 EINVAL = 22
 ENOSPC = 28
 ENOTTY = 25
+EFAULT = 14
 
 
 class CharDevice(Protocol):
@@ -35,21 +46,66 @@ class CharDevice(Protocol):
     def ioctl(self, cmd: int, arg: bytes, *, uid: int) -> bytes: ...
 
 
+class ModuleCharDevice:
+    """A chardev whose ioctl handler is module IR (runs under guards).
+
+    The handler is ``long handler(long cmd, long arg_ptr, long arg_len)``;
+    the payload is copied into a kmalloc'd kernel buffer for the call
+    (copy_from_user analog) and the signed 64-bit return value is packed
+    back to the caller.  A negative return becomes an IoctlError.
+    """
+
+    def __init__(self, kernel: "Kernel", module: "LoadedModule",
+                 handler_name: str):
+        self.kernel = kernel
+        self.module = module
+        self.handler_name = handler_name
+
+    def ioctl(self, cmd: int, arg: bytes, *, uid: int) -> bytes:
+        kernel = self.kernel
+        buf = kernel.kmalloc_allocator.kmalloc(max(len(arg), 1))
+        kernel.address_space.write_bytes(buf, arg or b"\x00")
+        try:
+            rc = kernel.run_function(
+                self.module, self.handler_name, [cmd, buf, len(arg)]
+            )
+        finally:
+            if kernel.kmalloc_allocator.owns(buf):
+                kernel.kmalloc_allocator.kfree(buf)
+        rc = int(rc or 0)
+        if rc >= 1 << 63:
+            rc -= 1 << 64
+        if rc < 0:
+            raise IoctlError(-rc, f"{self.module.name} ioctl returned {rc}")
+        return struct.pack("<q", rc)
+
+
 class DeviceRegistry:
     """The /dev namespace."""
 
     def __init__(self) -> None:
         self._devices: dict[str, CharDevice] = {}
+        self._owners: dict[str, str] = {}
 
-    def register(self, path: str, device: CharDevice) -> None:
+    def register(self, path: str, device: CharDevice,
+                 owner: Optional[str] = None) -> None:
         if not path.startswith("/dev/"):
             raise ValueError("device paths live under /dev/")
         if path in self._devices:
             raise ValueError(f"{path} already registered")
         self._devices[path] = device
+        if owner is not None:
+            self._owners[path] = owner
 
     def unregister(self, path: str) -> None:
         self._devices.pop(path, None)
+        self._owners.pop(path, None)
+
+    def owner_of(self, path: str) -> Optional[str]:
+        return self._owners.get(path)
+
+    def owned_by(self, owner: str) -> list[str]:
+        return sorted(p for p, o in self._owners.items() if o == owner)
 
     def get(self, path: str) -> Optional[CharDevice]:
         return self._devices.get(path)
@@ -67,10 +123,12 @@ class DeviceRegistry:
 __all__ = [
     "CharDevice",
     "DeviceRegistry",
+    "EFAULT",
     "EINVAL",
     "ENOENT",
     "ENOSPC",
     "ENOTTY",
     "EPERM",
     "IoctlError",
+    "ModuleCharDevice",
 ]

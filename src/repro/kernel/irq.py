@@ -45,6 +45,12 @@ class IrqController:
         self._actions: dict[int, IrqAction] = {}
         self._servicing: set[int] = set()
         self._next_line = 16  # low lines "reserved" for legacy devices
+        #: Fault-injection hook (see :mod:`repro.faults`): called with the
+        #: line before dispatch; returning True swallows the interrupt,
+        #: modelling a lost/level-glitched IRQ.  None = no injection.
+        self.fault_injector = None
+        #: Interrupts swallowed by the injector.
+        self.dropped = 0
 
     def allocate_line(self) -> int:
         line = self._next_line
@@ -73,6 +79,7 @@ class IrqController:
             raise IrqError("IRQ handlers take exactly one argument (the line)")
         action = IrqAction(line, module, handler_name, name or module.name)
         self._actions[line] = action
+        self.kernel.journal.record(module.name, "irq", line)
         self.kernel.dmesg(f"irq {line}: registered for {action.name}")
         return action
 
@@ -81,12 +88,26 @@ class IrqController:
         if action is None or action.module is not module:
             raise IrqError(f"IRQ {line} not owned by {module.name}")
         del self._actions[line]
+        self.kernel.journal.forget(module.name, "irq", line)
         self.kernel.dmesg(f"irq {line}: freed")
+
+    def force_release_line(self, line: int, module_name: str) -> bool:
+        """Rollback-side release: drop the line if ``module_name`` still
+        holds it (the journal replays this; no dmesg, the eject summary
+        reports the count)."""
+        action = self._actions.get(line)
+        if action is None or action.module.name != module_name:
+            return False
+        del self._actions[line]
+        return True
 
     def raise_irq(self, line: int) -> bool:
         """Device-side: deliver the interrupt.  Returns True if a handler
         ran; False if the line is unclaimed (spurious) or masked."""
         if not self.kernel.interrupts_enabled:
+            return False
+        if self.fault_injector is not None and self.fault_injector.drop_irq(line):
+            self.dropped += 1
             return False
         action = self._actions.get(line)
         if action is None:
@@ -106,10 +127,14 @@ class IrqController:
     def action_for(self, line: int) -> Optional[IrqAction]:
         return self._actions.get(line)
 
-    def release_module(self, module: "LoadedModule") -> None:
-        """Drop every line a module holds (rmmod cleanup path)."""
-        for line in [l for l, a in self._actions.items() if a.module is module]:
+    def release_module(self, module: "LoadedModule") -> int:
+        """Drop every line a module holds (rmmod cleanup path).  Returns
+        the number of lines released."""
+        lines = [l for l, a in self._actions.items() if a.module is module]
+        for line in lines:
             del self._actions[line]
+            self.kernel.journal.forget(module.name, "irq", line)
+        return len(lines)
 
 
 __all__ = ["IrqAction", "IrqController", "IrqError"]

@@ -118,6 +118,11 @@ class KmallocAllocator:
         """ksize() analog; 0 for unknown addresses."""
         return self._sizes.get(addr, 0)
 
+    def snapshot(self) -> tuple[int, int]:
+        """(live_allocations, bytes_allocated) — the leak-audit pair the
+        ejection soak compares before and after each rollback cycle."""
+        return (self.live_allocations, self.bytes_allocated)
+
     def owns(self, addr: int) -> bool:
         return addr in self._sizes
 

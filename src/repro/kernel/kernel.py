@@ -16,13 +16,18 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..signing import SigningKey
 from . import layout
-from .chardev import DeviceRegistry
+from .chardev import DeviceRegistry, ModuleCharDevice
 from .irq import IrqController
+from .journal import TransactionJournal
 from .kalloc import KmallocAllocator, PageAllocator
 from .memory import KernelAddressSpace, MMIODevice, PhysicalMemory
 from .module_loader import CompiledModule, LoadedModule, ModuleLoader
-from .panic import KernelPanic
+from .panic import KernelPanic, ViolationFault
 from .symbols import SymbolTable
+
+#: errno values the graceful-enforcement paths return (negated).
+EACCES = 13
+EFAULT = 14
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..vm.interp import Interpreter
@@ -46,6 +51,7 @@ class Kernel:
         self.kmalloc_allocator = KmallocAllocator(self.page_allocator)
         self.symbols = SymbolTable()
         self.devices = DeviceRegistry()
+        self.journal = TransactionJournal()
         self.irq = IrqController(self)
         self.loader = ModuleLoader(self)
         from .proc import ProcFS
@@ -60,6 +66,13 @@ class Kernel:
         self.engine = engine
         self._dmesg: list[str] = []
         self.panicked: Optional[str] = None
+        # Graceful-enforcement state (eject/isolate modes).
+        self._quarantine: dict[str, dict] = {}  # digest-or-name -> entry
+        self._isolated: set[str] = set()
+        self._pending_ejects: dict[str, str] = {}  # name -> reason
+        self._eject_hooks: dict[str, dict[str, Callable]] = {}
+        self.violation_faults = 0
+        self.entry_refusals = 0
         self._vm: Optional["Interpreter"] = None
         self._ioremap_next = layout.VMALLOC_BASE
         # Kernel stack backing for interpreter frames.
@@ -98,8 +111,151 @@ class Kernel:
     def run_function(
         self, module: LoadedModule, name: str, args: Sequence[int | float]
     ):
-        """Execute an IR function defined by a loaded module."""
-        return self.vm.call(module, name, list(args))
+        """Execute an IR function defined by a loaded module.
+
+        This is the kernel->module boundary, so it is also where graceful
+        enforcement lands: entry is refused (-EACCES) for modules that are
+        ejected, isolated, or awaiting a deferred eject, and a
+        ``ViolationFault`` raised by a guard in eject/isolate mode is
+        caught here — the offending module's frames have fully unwound by
+        the time the exception reaches us, so ejection cannot pull memory
+        out from under a live frame.
+        """
+        if (
+            module.ejected
+            or (self._isolated and module.name in self._isolated)
+            or (self._pending_ejects and module.name in self._pending_ejects)
+        ):
+            self.entry_refusals += 1
+            return -EACCES
+        vm = self.vm
+        outermost = vm._depth == 0
+        try:
+            result = vm.call(module, name, list(args))
+        except ViolationFault as fault:
+            result = self._handle_violation_fault(fault, outermost)
+        if outermost and self._pending_ejects:
+            for pending, reason in list(self._pending_ejects.items()):
+                self.eject(pending, reason)
+        return result
+
+    def _handle_violation_fault(
+        self, fault: ViolationFault, outermost: bool
+    ) -> int:
+        self.violation_faults += 1
+        offender = fault.module_name
+        entry = fault.entry_function or "?"
+        self.dmesg(
+            f"carat: violation fault in {offender} (entry @{entry}): "
+            f"{fault.reason} -> {fault.action}"
+        )
+        if fault.action == "isolate":
+            self.isolate(offender, fault.reason)
+        elif outermost:
+            self.eject(offender, fault.reason)
+        else:
+            # An inner kernel entry (ISR, timer, nested ioctl) caught the
+            # fault while outer frames — possibly the offender's own —
+            # are still live on the VM.  Unmapping now would yank memory
+            # from under them; park the eject until the outermost entry
+            # unwinds.  The refusal check above fences the module off in
+            # the meantime.
+            if offender not in self._pending_ejects:
+                self._pending_ejects[offender] = fault.reason
+                self.dmesg(
+                    f"module {offender}: eject deferred until the call "
+                    f"stack unwinds"
+                )
+        return -EFAULT
+
+    # -- graceful enforcement: eject / isolate / quarantine ---------------------------
+
+    def eject(self, name: str, reason: str = "policy violation"):
+        """Tear a module out of the kernel and roll back its journalled
+        side effects.  Returns the rollback summary dict (or None if the
+        module is already gone).  The module's signature is quarantined
+        so it cannot simply be insmod'ed again."""
+        self._pending_ejects.pop(name, None)
+        self._isolated.discard(name)
+        loaded = self.loader.loaded.get(name)
+        if loaded is None:
+            return None
+        summary = self.loader.eject(loaded, reason)
+        self.quarantine_module(loaded.compiled, reason)
+        return summary
+
+    def isolate(self, name: str, reason: str = "policy violation") -> bool:
+        """Fence a module off without unloading it: future kernel entries
+        are refused and its async entry points (IRQs, timers) are torn
+        down, but its memory and symbols stay resident for post-mortem."""
+        loaded = self.loader.loaded.get(name)
+        if loaded is None:
+            return False
+        first = name not in self._isolated
+        self._isolated.add(name)
+        irqs = self.irq.release_module(loaded)
+        timers = self.timers.release_module(loaded)
+        if first:
+            self.dmesg(
+                f"module {name}: isolated ({reason}) — {irqs} irqs masked, "
+                f"{timers} timers cancelled"
+            )
+        return True
+
+    def isolated_modules(self) -> list[str]:
+        return sorted(self._isolated)
+
+    def register_eject_hook(
+        self, module_name: str, hook: Callable, slot: str = "default"
+    ) -> None:
+        """Register a callable run with the LoadedModule just before its
+        journal is rolled back (device quiesce, netdev unregister...).
+        Re-registering the same ``slot`` replaces the hook, so re-probed
+        drivers do not accumulate stale hooks across eject cycles."""
+        self._eject_hooks.setdefault(module_name, {})[slot] = hook
+
+    def eject_hooks_for(self, module_name: str) -> list[Callable]:
+        return list(self._eject_hooks.get(module_name, {}).values())
+
+    def quarantine_module(self, compiled: CompiledModule, reason: str) -> None:
+        """Blocklist a module's signature (its digest if signed, else its
+        name) against re-insmod."""
+        sig = compiled.signature
+        key = sig.digest if sig is not None else compiled.name
+        if key not in self._quarantine:
+            self._quarantine[key] = {"name": compiled.name, "reason": reason}
+            self.dmesg(
+                f"module {compiled.name}: signature quarantined ({reason})"
+            )
+
+    def quarantine_reason(self, compiled: CompiledModule) -> Optional[str]:
+        sig = compiled.signature
+        if sig is not None:
+            entry = self._quarantine.get(sig.digest)
+            if entry is not None:
+                return entry["reason"]
+        entry = self._quarantine.get(compiled.name)
+        return entry["reason"] if entry is not None else None
+
+    def unquarantine(self, name: str) -> bool:
+        """Operator override: lift the quarantine on a module name (or
+        exact digest key).  Required before a quarantined module can be
+        insmod'ed again."""
+        keys = [
+            k for k, e in self._quarantine.items()
+            if k == name or e["name"] == name
+        ]
+        for k in keys:
+            del self._quarantine[k]
+        if keys:
+            self.dmesg(f"module {name}: quarantine lifted")
+        return bool(keys)
+
+    def quarantined(self) -> list[tuple[str, str]]:
+        """Sorted (name, reason) pairs for introspection (/proc/carat)."""
+        return sorted(
+            (e["name"], e["reason"]) for e in self._quarantine.values()
+        )
 
     # -- time ------------------------------------------------------------------------
 
@@ -129,6 +285,14 @@ class Kernel:
         return self.loader.insmod(compiled)
 
     def rmmod(self, name: str) -> None:
+        if name in self._isolated:
+            # An isolated module's code must not run again, so skip its
+            # cleanup_module and take the rollback path instead.
+            loaded = self.loader.loaded.get(name)
+            if loaded is not None:
+                self.loader.eject(loaded, "rmmod of isolated module")
+            self._isolated.discard(name)
+            return
         self.loader.rmmod(name)
 
     def lsmod(self) -> list[str]:
@@ -181,10 +345,19 @@ class Kernel:
         s = self.symbols
 
         def n_kmalloc(ctx, size: int, flags: int = 0) -> int:
-            return self.kmalloc_allocator.kmalloc(int(size))
+            addr = self.kmalloc_allocator.kmalloc(int(size))
+            # Journal module-attributed allocations so ejection can roll
+            # them back.  Core-kernel callers (ctx is None) are untracked.
+            module = ctx.current_module if ctx is not None else None
+            if module is not None:
+                self.journal.record(
+                    module.name, "kmalloc", addr, size=int(size)
+                )
+            return addr
 
         def n_kfree(ctx, addr: int) -> None:
             self.kmalloc_allocator.kfree(int(addr))
+            self.journal.forget_key("kmalloc", int(addr))
 
         def n_printk(ctx, fmt_ptr: int, *args) -> int:
             fmt = self.address_space.read_cstring(int(fmt_ptr)).decode(
@@ -332,6 +505,47 @@ class Kernel:
         s.export_native("mod_timer", n_mod_timer)
         s.export_native("del_timer", n_del_timer)
         s.export_native("time_us", n_time_us)
+
+        def n_register_chrdev(ctx, path_ptr: int, handler_ptr: int) -> int:
+            """register_chrdev("/dev/x", "ioctl_handler") from module code.
+            The handler runs on the VM for every ioctl on the device; the
+            registration is journalled, so ejection unregisters it."""
+            if ctx is None or ctx.current_module is None:
+                return -1
+            module = ctx.current_module
+            path = self.address_space.read_cstring(int(path_ptr)).decode()
+            handler = self.address_space.read_cstring(int(handler_ptr)).decode()
+            fn = module.ir.functions.get(handler)
+            if fn is None or fn.is_declaration or len(fn.args) != 3:
+                self.dmesg(
+                    f"register_chrdev: {module.name} has no 3-arg @{handler}"
+                )
+                return -1
+            try:
+                self.devices.register(
+                    path,
+                    ModuleCharDevice(self, module, handler),
+                    owner=module.name,
+                )
+            except ValueError as e:
+                self.dmesg(f"register_chrdev failed: {e}")
+                return -1
+            self.journal.record(module.name, "chardev", path)
+            self.dmesg(f"chardev {path}: registered by {module.name}")
+            return 0
+
+        def n_unregister_chrdev(ctx, path_ptr: int) -> int:
+            if ctx is None or ctx.current_module is None:
+                return -1
+            path = self.address_space.read_cstring(int(path_ptr)).decode()
+            if self.devices.owner_of(path) != ctx.current_module.name:
+                return -1
+            self.devices.unregister(path)
+            self.journal.forget(ctx.current_module.name, "chardev", path)
+            return 0
+
+        s.export_native("register_chrdev", n_register_chrdev)
+        s.export_native("unregister_chrdev", n_unregister_chrdev)
 
     def export_native(self, name: str, fn: Callable, owner: str = "kernel",
                       private: bool = False) -> None:

@@ -68,6 +68,12 @@ class LoadedModule:
     #: Names of modules whose exported data this module references.
     data_imports: list[str] = field(default_factory=list)
     refcount: int = 0
+    #: Physical base of the module-area mapping (so eject can return the
+    #: pages; rmmod keeps the historical leak-until-reuse behaviour).
+    phys: int = 0
+    #: Set by :meth:`ModuleLoader.eject`; a stale handle to an ejected
+    #: module must never execute again (its memory is unmapped).
+    ejected: bool = False
     #: Per-engine translation caches: each execution engine stores its
     #: translated functions here, keyed by the engine instance itself
     #: (see :class:`repro.vm.compiled.CompiledEngine`).  Entries are
@@ -136,6 +142,12 @@ class ModuleLoader:
 
     def _validate(self, compiled: CompiledModule) -> None:
         kernel = self.kernel
+        quarantine_reason = kernel.quarantine_reason(compiled)
+        if quarantine_reason is not None:
+            raise LoadError(
+                f"module {compiled.name}: quarantined ({quarantine_reason}); "
+                "refusing insmod"
+            )
         if kernel.signing_key is not None:
             if compiled.signature is None:
                 raise LoadError(
@@ -205,7 +217,7 @@ class ModuleLoader:
         )
         state.update(base=base, phys=phys, size=size)
 
-        loaded = LoadedModule(compiled=compiled, base=base, size=size)
+        loaded = LoadedModule(compiled=compiled, base=base, size=size, phys=phys)
         for gname, off in offsets.items():
             addr = base + off
             loaded.global_addresses[gname] = addr
@@ -249,6 +261,7 @@ class ModuleLoader:
         for fn in ir.functions.values():
             if fn.linkage == "exported" and not fn.is_declaration:
                 kernel.symbols.export_function(fn.name, fn, owner=compiled.name)
+                kernel.journal.record(compiled.name, "symbol", fn.name)
         return loaded
 
     def _write_initializer(self, addr: int, g) -> None:
@@ -285,10 +298,21 @@ class ModuleLoader:
         self.kernel.dmesg(f"module {name}: unloaded")
 
     def _unload(self, loaded: LoadedModule) -> None:
+        if self.loaded.get(loaded.name) is not loaded:
+            return  # already gone (e.g. ejected during its own init)
         kernel = self.kernel
         kernel.irq.release_module(loaded)
         kernel.timers.release_module(loaded)
         kernel.symbols.remove_owner(loaded.name)
+        self._drop_references(loaded)
+        kernel.address_space.unmap(loaded.base)
+        # Physical pages intentionally leak back only via the page allocator
+        # free list when the mapping's phys base is tracked; modules are
+        # small and reload cycles in tests are bounded.
+        kernel.journal.drop(loaded.name)
+        self.loaded.pop(loaded.name, None)
+
+    def _drop_references(self, loaded: LoadedModule) -> None:
         for sym in loaded.imports.values():
             if sym.owner != "kernel":
                 owner = self.loaded.get(sym.owner)
@@ -298,11 +322,52 @@ class ModuleLoader:
             owner = self.loaded.get(owner_name)
             if owner is not None:
                 owner.refcount -= 1
+
+    # -- eject (graceful enforcement) ---------------------------------------
+
+    def eject(self, loaded: LoadedModule, reason: str) -> dict:
+        """Forcibly remove a misbehaving module and roll back its state.
+
+        Unlike rmmod this never runs ``cleanup_module`` (the module just
+        violated policy; its code is not trusted to run again) and it
+        ignores the refcount — importers are unlinked so later calls
+        re-resolve or fail cleanly.  The transaction journal undoes the
+        module's side effects (kmalloc, IRQs, timers, exports, chardevs)
+        in reverse order; the module's pages are unmapped and returned.
+        Returns the rollback summary.
+        """
+        kernel = self.kernel
+        name = loaded.name
+        if self.loaded.get(name) is not loaded:
+            return {"module": name, "already_unloaded": True}
+        kernel.dmesg(f"module {name}: ejecting ({reason})")
+        for hook in kernel.eject_hooks_for(name):
+            hook(loaded)
+        summary = kernel.journal.rollback(name, kernel)
+        # Belt and braces: anything registered outside the journal's view.
+        summary["irqs"] += kernel.irq.release_module(loaded)
+        summary["timers"] += kernel.timers.release_module(loaded)
+        for path in kernel.devices.owned_by(name):
+            kernel.devices.unregister(path)
+            summary["chardevs"] += 1
+        kernel.retire_symbols(name)
+        self._drop_references(loaded)
         kernel.address_space.unmap(loaded.base)
-        # Physical pages intentionally leak back only via the page allocator
-        # free list when the mapping's phys base is tracked; modules are
-        # small and reload cycles in tests are bounded.
-        self.loaded.pop(loaded.name, None)
+        kernel.page_allocator.free_pages(
+            loaded.phys, loaded.size // layout.PAGE_SIZE
+        )
+        self.loaded.pop(name, None)
+        loaded.ejected = True
+        loaded.translations.clear()
+        kernel.vm.forget_module(loaded)
+        kernel.dmesg(
+            f"module {name}: ejected — rolled back "
+            f"{summary['kmalloc_allocations']} allocations "
+            f"({summary['kmalloc_bytes']} bytes), {summary['irqs']} irqs, "
+            f"{summary['timers']} timers, {summary['symbols']} symbols, "
+            f"{summary['chardevs']} chardevs"
+        )
+        return summary
 
     def find_module_for_function(self, fn: Function) -> Optional[LoadedModule]:
         for m in self.loaded.values():

@@ -19,6 +19,46 @@ class KernelPanic(Exception):
         self.reason = reason
 
 
+class ViolationFault(Exception):
+    """A guard denial under a *recoverable* enforcement mode.
+
+    Paper §5 names clean module ejection as future work; this is that
+    path.  Unlike :class:`GuardViolation` (a :class:`KernelPanic`), a
+    ViolationFault is catchable: it unwinds only the offending module's
+    call stack and is handled at the kernel entry point
+    (:meth:`repro.kernel.kernel.Kernel.run_function`), which ejects or
+    isolates the module and returns ``-EFAULT`` to the caller.  The rest
+    of the machine keeps running.
+    """
+
+    def __init__(self, addr: int, size: int, flags: int, module_name: str,
+                 action: str, detail: str = ""):
+        reason = (
+            f"forbidden access by module {module_name} at {addr:#018x} "
+            f"(size {size})"
+        )
+        if detail:
+            reason = detail
+        super().__init__(reason)
+        self.addr = addr
+        self.size = size
+        self.flags = flags
+        self.module_name = module_name
+        #: The enforcement action the policy selected: "eject"/"isolate".
+        self.action = action
+        self.reason = reason
+        #: Filled by the VM entry point as the fault unwinds: the
+        #: (module, function) the kernel called into.
+        self.entry_module: str = ""
+        self.entry_function: str = ""
+
+    def note_entry(self, module_name: str, function_name: str) -> None:
+        """Record the VM entry point the fault unwound out of (once)."""
+        if not self.entry_module:
+            self.entry_module = module_name
+            self.entry_function = function_name
+
+
 class MemoryFault(Exception):
     """An access to an unmapped or ill-formed address.
 
@@ -38,4 +78,4 @@ class MemoryFault(Exception):
         self.write = write
 
 
-__all__ = ["KernelPanic", "MemoryFault"]
+__all__ = ["KernelPanic", "MemoryFault", "ViolationFault"]

@@ -26,6 +26,7 @@ class ProcFS:
             "/proc/meminfo": self._meminfo,
             "/proc/devices": self._devices,
             "/proc/carat": self._carat,
+            "/proc/journal": self._journal,
         }
 
     def read(self, path: str) -> str:
@@ -98,10 +99,42 @@ class ProcFS:
             "call_policy: allow-all" if calls is None
             else f"call_policy: allowlist({len(calls)})"
         )
+        mode = getattr(policy, "mode", None)
+        if mode is not None:
+            lines.append(f"mode: {mode}")
+            for name, override in sorted(policy.module_modes.items()):
+                lines.append(f"mode[{name}]: {override}")
+            for name, count in sorted(policy.violations.items()):
+                lines.append(f"violations[{name}]: {count}")
+        kernel = self.kernel
+        lines.append(f"violation_faults: {kernel.violation_faults}")
+        lines.append(f"entry_refusals: {kernel.entry_refusals}")
+        for name in kernel.isolated_modules():
+            lines.append(f"isolated: {name}")
+        for name, reason in kernel.quarantined():
+            lines.append(f"quarantined: {name} ({reason})")
         lines.append(policy.index.describe()
                      if hasattr(policy.index, "describe")
                      else f"regions: {len(policy.index)}")
         return "\n".join(lines) + "\n"
+
+    def _journal(self) -> str:
+        """Per-module transaction-journal depth and past rollbacks."""
+        journal = self.kernel.journal
+        lines = []
+        for name in journal.modules():
+            by_kind = journal.depth_by_kind(name)
+            detail = " ".join(f"{k}={v}" for k, v in by_kind.items() if v)
+            lines.append(f"{name}: depth={journal.depth(name)} {detail}".rstrip())
+        for summary in journal.rollbacks:
+            lines.append(
+                f"rollback: {summary['module']} "
+                f"kmalloc={summary['kmalloc_allocations']}"
+                f"/{summary['kmalloc_bytes']}B "
+                f"irqs={summary['irqs']} timers={summary['timers']} "
+                f"symbols={summary['symbols']} chardevs={summary['chardevs']}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
 
 
 __all__ = ["ProcFS"]

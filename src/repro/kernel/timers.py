@@ -85,6 +85,7 @@ class TimerWheel:
             timer = KernelTimer(timer_id, module, handler_name, arg, expires)
         self._timers[timer_id] = timer
         heapq.heappush(self._heap, _Entry(expires, next(self._ids), timer))
+        self.kernel.journal.record(module.name, "timer", timer_id)
         return timer_id
 
     def del_timer(self, timer_id: int) -> bool:
@@ -92,6 +93,7 @@ class TimerWheel:
         if timer is None:
             return False
         timer.cancelled = True
+        self.kernel.journal.forget(timer.module.name, "timer", timer_id)
         return True
 
     def pending(self) -> int:
@@ -125,6 +127,9 @@ class TimerWheel:
                     continue  # deleted or re-armed since queued
                 # One-shot semantics: the handler re-arms if it wants more.
                 self._timers.pop(timer.timer_id, None)
+                self.kernel.journal.forget(
+                    timer.module.name, "timer", timer.timer_id
+                )
                 timer.fired += 1
                 fired += 1
                 self.kernel.run_function(
@@ -134,10 +139,13 @@ class TimerWheel:
             self._running = False
         return fired
 
-    def release_module(self, module: "LoadedModule") -> None:
-        for tid in [t for t, timer in self._timers.items()
-                    if timer.module is module]:
+    def release_module(self, module: "LoadedModule") -> int:
+        """Cancel every pending timer a module owns; returns the count."""
+        tids = [t for t, timer in self._timers.items()
+                if timer.module is module]
+        for tid in tids:
             self.del_timer(tid)
+        return len(tids)
 
 
 __all__ = ["KernelTimer", "TimerWheel"]

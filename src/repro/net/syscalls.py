@@ -39,10 +39,16 @@ class RawPacketSocket:
     """An AF_PACKET-style raw socket bound to one interface."""
 
     def __init__(self, kernel: Kernel, netdev: "E1000ENetDev",
-                 machine: Optional[MachineModel] = None):
+                 machine: Optional[MachineModel] = None,
+                 max_retries: int = 1):
         self.kernel = kernel
         self.netdev = netdev
         self.machine = machine
+        #: Bounded EBUSY retries per sendmsg.  The default (1) is the
+        #: paper's behaviour: one deschedule, one retry.  Fault-injection
+        #: runs raise it so transient driver-path errors are ridden out
+        #: with linear backoff instead of surfacing to the caller.
+        self.max_retries = max_retries
         self.sent = 0
         self.stalls = 0
 
@@ -60,13 +66,17 @@ class RawPacketSocket:
         timing.add_cycles(machine.per_byte_cycles * len(raw))
         rc = self.netdev.xmit(raw)
         stalled = False
-        if rc == -EBUSY:
+        attempt = 0
+        while rc == -EBUSY and attempt < self.max_retries:
             # Descheduled until the NIC drains (paper: outliers "in excess
             # of 10 million cycles ... when the ring is full and the test
-            # application is descheduled").
+            # application is descheduled").  Repeated EBUSY backs off
+            # linearly — the scheduler keeps the starved sender off-CPU
+            # longer each time.
+            attempt += 1
             stalled = True
             self.stalls += 1
-            timing.add_cycles(machine.deschedule_cycles)
+            timing.add_cycles(machine.deschedule_cycles * attempt)
             # While the sender slept, the NIC drained the wire and wrote
             # descriptor status back.
             self.netdev.device.sync()
@@ -76,7 +86,9 @@ class RawPacketSocket:
 
     def _xmit_with_retry(self, raw: bytes) -> int:
         rc = self.netdev.xmit(raw)
-        if rc == -EBUSY:
+        attempt = 0
+        while rc == -EBUSY and attempt < self.max_retries:
+            attempt += 1
             rc = self.netdev.xmit(raw)
         return rc
 

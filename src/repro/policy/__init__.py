@@ -2,7 +2,15 @@
 
 from .manager import PolicyManager
 from .miner import AccessRecord, MinedPolicy, PolicyMiner
-from .module import CaratPolicyModule, PolicyStats
+from .module import (
+    MODE_AUDIT,
+    MODE_EJECT,
+    MODE_ISOLATE,
+    MODE_PANIC,
+    MODES,
+    CaratPolicyModule,
+    PolicyStats,
+)
 from .region import Decision, Region
 from .structures import (
     AMQFilterIndex,
@@ -28,6 +36,11 @@ __all__ = [
     "Decision",
     "LSHBucketIndex",
     "MAX_REGIONS",
+    "MODES",
+    "MODE_AUDIT",
+    "MODE_EJECT",
+    "MODE_ISOLATE",
+    "MODE_PANIC",
     "OverlapError",
     "PolicyManager",
     "PolicyStats",

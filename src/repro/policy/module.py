@@ -24,6 +24,7 @@ from typing import Optional
 from .. import abi
 from ..kernel.chardev import EINVAL, ENOSPC, ENOTTY, EPERM, IoctlError
 from ..kernel.kernel import Kernel
+from ..kernel.panic import ViolationFault
 from ..vm.interp import GuardViolation
 from .region import Region
 from .table import PolicyTableFull, RegionTable
@@ -46,8 +47,28 @@ CMD_CALL_POLICY = 0xC0DE000D  # arg: u32, 0 = allow-all, 1 = allowlist
 #: then the same struct as the global variant.
 CMD_ADD_REGION_FOR = 0xC0DE000E
 CMD_CLEAR_FOR = 0xC0DE000F
+# Graceful-enforcement ioctls (module ejection work).
+CMD_SET_MODE = 0xC0DE0010      # arg: u32 mode code
+CMD_SET_MODE_FOR = 0xC0DE0011  # arg: 32-byte name + u32 code (4 = clear)
+CMD_GET_MODE = 0xC0DE0012      # arg: empty (global) or 32-byte name
+CMD_GET_VIOLATIONS = 0xC0DE0013  # arg: 32-byte name -> u64 count
+CMD_UNQUARANTINE = 0xC0DE0014  # arg: 32-byte name -> u32 lifted
 
 _NAME_LEN = 32
+
+#: Enforcement modes.  ``panic`` is the paper's behaviour (§3.1); the
+#: others are this repo's §5 "cleanly handle forbidden accesses" work.
+MODE_AUDIT = "audit"
+MODE_PANIC = "panic"
+MODE_EJECT = "eject"
+MODE_ISOLATE = "isolate"
+MODES = (MODE_AUDIT, MODE_PANIC, MODE_EJECT, MODE_ISOLATE)
+
+#: Wire encoding of the modes for the ioctl protocol; code 4 on
+#: CMD_SET_MODE_FOR clears a per-module override.
+MODE_CODES = {0: MODE_AUDIT, 1: MODE_PANIC, 2: MODE_EJECT, 3: MODE_ISOLATE}
+MODE_WIRE = {mode: code for code, mode in MODE_CODES.items()}
+_CLEAR_MODE_CODE = 4
 
 _REGION_FMT = "<QQI"  # base, length, prot
 _STATS_FMT = "<QQQQQ"  # checks, allowed, denied, entries_scanned, regions
@@ -79,23 +100,27 @@ class PolicyStats:
 class _GuardCache:
     """Memoized guard decisions for one policy index.
 
-    Valid only while the index's ``(epoch, default_allow)`` token is
-    unchanged; any region add/remove/clear bumps the epoch and the next
-    guard rebuilds from an empty dict.  Stores the full ``(allowed,
-    scanned)`` decision so the caller's stats and the machine model's
-    per-entry guard cost are identical with and without the cache.
+    Valid only while the index's ``(epoch, default_allow)`` token and the
+    policy's enforcement epoch are unchanged; any region add/remove/clear
+    bumps the index epoch, and any enforcement-mode change (global or
+    per-module) bumps the enforcement epoch — either way the next guard
+    rebuilds from an empty dict.  Stores the full ``(allowed, scanned)``
+    decision so the caller's stats and the machine model's per-entry
+    guard cost are identical with and without the cache.
     """
 
-    __slots__ = ("index", "epoch", "default_allow", "decisions")
+    __slots__ = ("index", "epoch", "default_allow", "enforce_epoch",
+                 "decisions")
 
     #: Safety valve for scan-everything workloads; steady-state driver
     #: loops touch a few dozen distinct (addr, size, flags) keys.
     MAX_ENTRIES = 1 << 16
 
-    def __init__(self, index):
+    def __init__(self, index, enforce_epoch: int = 0):
         self.index = index
         self.epoch = index.epoch
         self.default_allow = index.default_allow
+        self.enforce_epoch = enforce_epoch
         self.decisions: dict = {}
 
 
@@ -107,10 +132,23 @@ class CaratPolicyModule:
         kernel: Kernel,
         index=None,
         enforce: bool = True,
+        mode: Optional[str] = None,
     ):
         self.kernel = kernel
         self.index = index if index is not None else RegionTable()
-        self.enforce = enforce
+        if mode is None:
+            mode = MODE_PANIC if enforce else MODE_AUDIT
+        elif mode not in MODES:
+            raise ValueError(f"unknown enforcement mode {mode!r}")
+        #: Global enforcement mode; per-module overrides win over it.
+        self.mode = mode
+        self.module_modes: dict[str, str] = {}
+        #: Per-module denied-access counts (every guard flavour, every
+        #: mode — audit runs use this for the would-have-denied tally).
+        self.violations: dict[str, int] = {}
+        #: Bumped on any mode change; part of the guard cache's validity
+        #: token, so stale decisions never outlive an enforcement switch.
+        self._enforce_epoch = 0
         self.stats = PolicyStats()
         self.allowed_intrinsics: set[str] = set()
         #: Kernel symbols a module may call (paper §5 control-flow
@@ -132,6 +170,59 @@ class CaratPolicyModule:
         self._fast_index = None
         self._fast_cache: Optional[_GuardCache] = None
         self._installed = False
+
+    # -- enforcement modes ----------------------------------------------------
+
+    @property
+    def enforce(self) -> bool:
+        """Backwards-compatible view: enforcing means any non-audit mode.
+        Assigning a bool selects panic (the paper default) or audit."""
+        return self.mode != MODE_AUDIT
+
+    @enforce.setter
+    def enforce(self, value: bool) -> None:
+        self._set_global_mode(MODE_PANIC if value else MODE_AUDIT)
+
+    def _set_global_mode(self, mode: str) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown enforcement mode {mode!r}")
+        if mode != self.mode:
+            self.mode = mode
+            self._enforce_epoch += 1
+
+    def set_mode(self, mode: str) -> None:
+        """Switch the global enforcement mode (logged, unlike the legacy
+        enforce flag, which stays silent for byte-compatible audit runs)."""
+        previous = self.mode
+        self._set_global_mode(mode)
+        if self.mode != previous:
+            self.kernel.dmesg(
+                f"{MODULE_NAME}: enforcement mode {previous} -> {self.mode}"
+            )
+
+    def set_module_mode(self, module_name: str, mode: Optional[str]) -> None:
+        """Set (or, with ``None``, clear) a per-module mode override."""
+        if mode is None:
+            if self.module_modes.pop(module_name, None) is not None:
+                self._enforce_epoch += 1
+                self.kernel.dmesg(
+                    f"{MODULE_NAME}: mode override cleared for {module_name}"
+                )
+            return
+        if mode not in MODES:
+            raise ValueError(f"unknown enforcement mode {mode!r}")
+        if self.module_modes.get(module_name) != mode:
+            self.module_modes[module_name] = mode
+            self._enforce_epoch += 1
+            self.kernel.dmesg(
+                f"{MODULE_NAME}: mode override {module_name} -> {mode}"
+            )
+
+    def mode_for(self, module_name: str) -> str:
+        """The effective enforcement mode for a module."""
+        if self.module_modes:
+            return self.module_modes.get(module_name, self.mode)
+        return self.mode
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -178,7 +269,7 @@ class CaratPolicyModule:
         if getattr(index, "pure_check", False):
             cache = self._guard_caches.get(id(index))
             if cache is None or cache.index is not index:
-                cache = _GuardCache(index)
+                cache = _GuardCache(index, self._enforce_epoch)
                 self._guard_caches[id(index)] = cache
         else:
             cache = None
@@ -200,9 +291,11 @@ class CaratPolicyModule:
             cache = self._bind_cache(index)
         if cache is not None:
             if (cache.epoch != index.epoch
-                    or cache.default_allow != index.default_allow):
+                    or cache.default_allow != index.default_allow
+                    or cache.enforce_epoch != self._enforce_epoch):
                 cache.epoch = index.epoch
                 cache.default_allow = index.default_allow
+                cache.enforce_epoch = self._enforce_epoch
                 cache.decisions.clear()
             key = (addr, size, flags)
             decision = cache.decisions.get(key)
@@ -223,15 +316,19 @@ class CaratPolicyModule:
             stats.allowed += 1
             return scanned
         stats.denied += 1
+        self.violations[module_name] = self.violations.get(module_name, 0) + 1
         self.kernel.dmesg(
             f"{MODULE_NAME}: DENY module={module_name} "
             f"{abi.flags_name(flags)} {addr:#018x} size={size}"
         )
-        if self.enforce:
+        mode = self.mode_for(module_name)
+        if mode == MODE_PANIC:
             violation = GuardViolation(addr, size, flags, f"module {module_name}")
             self.kernel.panicked = violation.reason
             self.kernel.dmesg(f"Kernel panic - not syncing: {violation.reason}")
             raise violation
+        if mode != MODE_AUDIT:
+            raise ViolationFault(addr, size, flags, module_name, mode)
         return scanned
 
     def _intrinsic_guard(self, ctx, name_ptr: int) -> int:
@@ -246,16 +343,23 @@ class CaratPolicyModule:
         if name in self.allowed_intrinsics:
             return 1
         self.stats.intrinsic_denied += 1
+        self.violations[module_name] = self.violations.get(module_name, 0) + 1
         self.kernel.dmesg(
             f"{MODULE_NAME}: DENY-INTRINSIC module={module_name} {name}"
         )
-        if self.enforce:
+        mode = self.mode_for(module_name)
+        if mode == MODE_PANIC:
             violation = GuardViolation(
                 0, 0, abi.FLAG_INTRINSIC, f"intrinsic {name} by {module_name}"
             )
             self.kernel.panicked = violation.reason
             self.kernel.dmesg(f"Kernel panic - not syncing: {violation.reason}")
             raise violation
+        if mode != MODE_AUDIT:
+            raise ViolationFault(
+                0, 0, abi.FLAG_INTRINSIC, module_name, mode,
+                detail=f"forbidden intrinsic {name} by module {module_name}",
+            )
         return 1
 
     def _call_guard(self, ctx, name_ptr: int) -> int:
@@ -270,16 +374,23 @@ class CaratPolicyModule:
             if ctx is not None and ctx.current_module is not None
             else "?"
         )
+        self.violations[module_name] = self.violations.get(module_name, 0) + 1
         self.kernel.dmesg(
             f"{MODULE_NAME}: DENY-CALL module={module_name} -> {name}"
         )
-        if self.enforce:
+        mode = self.mode_for(module_name)
+        if mode == MODE_PANIC:
             violation = GuardViolation(
                 0, 0, abi.FLAG_EXEC, f"call to {name} by {module_name}"
             )
             self.kernel.panicked = violation.reason
             self.kernel.dmesg(f"Kernel panic - not syncing: {violation.reason}")
             raise violation
+        if mode != MODE_AUDIT:
+            raise ViolationFault(
+                0, 0, abi.FLAG_EXEC, module_name, mode,
+                detail=f"forbidden call to {name} by module {module_name}",
+            )
         return 1
 
     # -- ioctl interface ------------------------------------------------------
@@ -369,6 +480,42 @@ class CaratPolicyModule:
         if cmd == CMD_CLEAR_FOR:
             self.module_indexes.pop(self._decode_name(arg), None)
             return b""
+        if cmd == CMD_SET_MODE:
+            (code,) = self._unpack("<I", arg)
+            mode = MODE_CODES.get(code)
+            if mode is None:
+                raise IoctlError(EINVAL, f"unknown mode code {code}")
+            self.set_mode(mode)
+            return b""
+        if cmd == CMD_SET_MODE_FOR:
+            want = _NAME_LEN + 4
+            if len(arg) != want:
+                raise IoctlError(EINVAL, f"expected {want}-byte payload")
+            name = self._decode_name(arg[:_NAME_LEN])
+            (code,) = struct.unpack("<I", arg[_NAME_LEN:])
+            if code == _CLEAR_MODE_CODE:
+                self.set_module_mode(name, None)
+                return b""
+            mode = MODE_CODES.get(code)
+            if mode is None:
+                raise IoctlError(EINVAL, f"unknown mode code {code}")
+            self.set_module_mode(name, mode)
+            return b""
+        if cmd == CMD_GET_MODE:
+            if len(arg) == 0:
+                return struct.pack("<I", MODE_WIRE[self.mode])
+            if len(arg) != _NAME_LEN:
+                raise IoctlError(
+                    EINVAL, f"expected empty or {_NAME_LEN}-byte payload"
+                )
+            name = self._decode_name(arg)
+            return struct.pack("<I", MODE_WIRE[self.mode_for(name)])
+        if cmd == CMD_GET_VIOLATIONS:
+            name = self._decode_fixed_name(arg)
+            return struct.pack("<Q", self.violations.get(name, 0))
+        if cmd == CMD_UNQUARANTINE:
+            name = self._decode_fixed_name(arg)
+            return struct.pack("<I", int(self.kernel.unquarantine(name)))
         raise IoctlError(ENOTTY, f"unknown ioctl {cmd:#x}")
 
     @staticmethod
@@ -378,6 +525,17 @@ class CaratPolicyModule:
             return arg.rstrip(b"\x00").decode("utf-8")
         except UnicodeDecodeError as e:
             raise IoctlError(EINVAL, f"bad name payload: {e}") from e
+
+    @classmethod
+    def _decode_fixed_name(cls, arg: bytes) -> str:
+        """The graceful-enforcement commands take exactly the NUL-padded
+        fixed-size name struct — a short or oversized copy is a user-space
+        bug, not something to silently accept."""
+        if len(arg) != _NAME_LEN:
+            raise IoctlError(
+                EINVAL, f"expected {_NAME_LEN}-byte name payload, got {len(arg)}"
+            )
+        return cls._decode_name(arg)
 
     @staticmethod
     def _unpack(fmt: str, arg: bytes):
@@ -394,12 +552,24 @@ __all__ = [
     "CMD_COUNT",
     "CMD_DEL_REGION",
     "CMD_DENY_INTRINSIC",
+    "CMD_GET_MODE",
     "CMD_GET_REGION",
     "CMD_GET_STATS",
+    "CMD_GET_VIOLATIONS",
     "CMD_SET_DEFAULT",
     "CMD_SET_ENFORCE",
+    "CMD_SET_MODE",
+    "CMD_SET_MODE_FOR",
+    "CMD_UNQUARANTINE",
     "CaratPolicyModule",
     "DEVICE_PATH",
+    "MODE_AUDIT",
+    "MODE_CODES",
+    "MODE_EJECT",
+    "MODE_ISOLATE",
+    "MODE_PANIC",
+    "MODES",
+    "MODE_WIRE",
     "MODULE_NAME",
     "PolicyStats",
 ]

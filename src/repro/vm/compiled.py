@@ -214,6 +214,15 @@ class CompiledEngine(Interpreter):
         self._tcache[fn] = entry
         return entry
 
+    def forget_module(self, module: LoadedModule) -> None:
+        """Purge an ejected module's translations from the L1 memo, so
+        long eject/re-insmod soaks don't accumulate dead entries (the
+        per-module store dies with the LoadedModule itself)."""
+        self._tcache = {
+            fn: entry for fn, entry in self._tcache.items()
+            if entry.module is not module
+        }
+
 
 class _Translator:
     """Translates one function into a :class:`_CompiledFunction`.

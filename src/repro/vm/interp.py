@@ -48,7 +48,7 @@ from ..ir.values import (
 )
 from ..kernel import layout
 from ..kernel.module_loader import LoadedModule
-from ..kernel.panic import KernelPanic
+from ..kernel.panic import KernelPanic, ViolationFault
 from .machine import MachineModel
 from .timing import CycleCounter
 
@@ -103,7 +103,17 @@ class Interpreter:
 
     def call(self, module: LoadedModule, name: str, args: Sequence[int | float]):
         fn = module.function(name)
-        return self._exec_function(module, fn, list(args))
+        try:
+            return self._exec_function(module, fn, list(args))
+        except ViolationFault as fault:
+            # Tag the fault with the kernel->module entry whose dispatch
+            # faulted (first catch wins — the innermost kernel entry).
+            fault.note_entry(module.name, name)
+            raise
+
+    def forget_module(self, module: LoadedModule) -> None:
+        """Drop engine-side state for an ejected module (no-op here; the
+        compiled engine purges its translation cache)."""
 
     def call_function(self, module: LoadedModule, fn: Function,
                       args: Sequence[int | float]):

@@ -60,3 +60,54 @@ class TestProc:
         system.policy_manager.allow_call("kmalloc")
         text = system.kernel.proc.read("/proc/carat")
         assert "allowlist(1)" in text
+
+
+class TestProcEnforcement:
+    """The graceful-enforcement additions to /proc/carat and /proc/journal."""
+
+    def test_carat_shows_global_mode(self, system):
+        text = system.kernel.proc.read("/proc/carat")
+        assert "mode: panic" in text
+        system.policy_manager.set_mode("eject")
+        assert "mode: eject" in system.kernel.proc.read("/proc/carat")
+        # The legacy line keeps its meaning: eject still enforces.
+        assert "enforce: on" in system.kernel.proc.read("/proc/carat")
+
+    def test_carat_shows_override_and_violations(self, system):
+        from repro import abi
+        from repro.kernel import ViolationFault
+
+        policy = system.policy
+        policy.set_module_mode("rogue", "eject")
+        with pytest.raises(ViolationFault):
+            policy._guard(None, 0x400, 8, abi.FLAG_WRITE, "rogue")
+        text = system.kernel.proc.read("/proc/carat")
+        assert "mode[rogue]: eject" in text
+        assert "violations[rogue]: 1" in text
+
+    def test_carat_shows_isolated_and_quarantined(self, system):
+        system.kernel.isolate("e1000e", "operator request")
+        system.kernel.quarantine_module(system.driver_compiled, "bad actor")
+        text = system.kernel.proc.read("/proc/carat")
+        assert "isolated: e1000e" in text
+        assert "quarantined: e1000e (bad actor)" in text
+        assert "entry_refusals:" in text
+        assert "violation_faults:" in text
+
+    def test_journal_tracks_driver_side_effects(self, system):
+        # insmod journaled the driver's exported symbols at minimum.
+        text = system.kernel.proc.read("/proc/journal")
+        assert "e1000e: depth=" in text
+        assert "symbol=" in text
+
+    def test_journal_records_rollbacks(self, system):
+        from repro.core.pipeline import CompileOptions, compile_module
+
+        src = "__export long f(void) { return 7; }\n"
+        compiled = compile_module(src, CompileOptions(
+            module_name="victim", key=system.signing_key))
+        system.kernel.insmod(compiled)
+        system.kernel.eject("victim", "test")
+        text = system.kernel.proc.read("/proc/journal")
+        assert "rollback: victim" in text
+        assert "victim: depth=" not in text  # drained after rollback

@@ -138,3 +138,69 @@ def test_stats_dict_exposes_cache_counters():
     policy = _policy()
     d = policy.stats.as_dict()
     assert "guard_cache_hits" in d and "guard_cache_misses" in d
+
+
+def test_enforcement_mode_change_invalidates():
+    """Satellite regression: switching the enforcement mode bumps the
+    enforce epoch, so cached decisions never outlive a mode change."""
+    from repro.policy import MODE_EJECT
+
+    policy = _policy()
+    policy.index.add(Region(0x1000, 0x1000, RW))
+    for _ in range(3):
+        policy._guard(None, 0x1800, 8, abi.FLAG_READ)
+    assert policy.stats.guard_cache_hits == 2
+    policy.set_mode(MODE_EJECT)
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ)
+    # The first guard after the switch re-checks (miss), not a stale hit.
+    assert policy.stats.guard_cache_misses == 2
+    assert policy.stats.guard_cache_hits == 2
+    # ...and subsequent guards cache again under the new epoch.
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ)
+    assert policy.stats.guard_cache_hits == 3
+
+
+def test_per_module_mode_override_invalidates():
+    from repro.policy import MODE_ISOLATE
+
+    policy = _policy()
+    policy.index.add(Region(0x1000, 0x1000, RW))
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ, "e1000e")
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ, "e1000e")
+    assert policy.stats.guard_cache_hits == 1
+    policy.set_module_mode("e1000e", MODE_ISOLATE)
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ, "e1000e")
+    assert policy.stats.guard_cache_misses == 2
+    # Clearing the override is a change too.
+    policy.set_module_mode("e1000e", None)
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ, "e1000e")
+    assert policy.stats.guard_cache_misses == 3
+
+
+def test_noop_mode_set_does_not_invalidate():
+    policy = _policy()
+    policy.index.add(Region(0x1000, 0x1000, RW))
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ)
+    policy.set_mode(policy.mode)  # same mode: no epoch bump
+    policy.enforce = policy.enforce  # same legacy flag: no bump either
+    policy._guard(None, 0x1800, 8, abi.FLAG_READ)
+    assert policy.stats.guard_cache_misses == 1
+    assert policy.stats.guard_cache_hits == 1
+
+
+def test_cached_denial_faults_in_eject_mode():
+    """A cache-hit denial raises the catchable fault, not the panic."""
+    from repro.kernel import ViolationFault
+    from repro.policy import MODE_EJECT
+
+    policy = _policy()
+    policy.set_mode(MODE_EJECT)
+    policy.index.add(Region(0x1000, 0x1000, RW))
+    for _ in range(2):
+        with pytest.raises(ViolationFault) as ei:
+            policy._guard(None, 0xDEAD0000, 8, abi.FLAG_WRITE, "mod")
+        assert ei.value.action == MODE_EJECT
+        assert ei.value.module_name == "mod"
+    assert policy.stats.guard_cache_hits == 1
+    assert policy.kernel.panicked is None
+    assert policy.violations["mod"] == 2

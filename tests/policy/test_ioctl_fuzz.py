@@ -17,7 +17,8 @@ ALL_CMDS = [
     pm.CMD_GET_STATS, pm.CMD_GET_REGION, pm.CMD_COUNT, pm.CMD_SET_ENFORCE,
     pm.CMD_ALLOW_INTRINSIC, pm.CMD_DENY_INTRINSIC, pm.CMD_ALLOW_CALL,
     pm.CMD_DENY_CALL, pm.CMD_CALL_POLICY, pm.CMD_ADD_REGION_FOR,
-    pm.CMD_CLEAR_FOR,
+    pm.CMD_CLEAR_FOR, pm.CMD_SET_MODE, pm.CMD_SET_MODE_FOR, pm.CMD_GET_MODE,
+    pm.CMD_GET_VIOLATIONS, pm.CMD_UNQUARANTINE,
 ]
 
 
@@ -32,6 +33,13 @@ def fresh():
 @example(pm.CMD_ADD_REGION_FOR, b"\xff" * 52, 0)
 @example(pm.CMD_CLEAR_FOR, b"\xc5}", 0)
 @example(pm.CMD_ADD_REGION, b"\x00" * 20, 0)        # zero-length region
+@example(pm.CMD_SET_MODE, b"\x09\x00\x00\x00", 0)   # unknown mode code
+@example(pm.CMD_SET_MODE, b"\x01", 0)               # short payload
+@example(pm.CMD_SET_MODE_FOR, b"\x00" * 35, 0)      # truncated name+code
+@example(pm.CMD_SET_MODE_FOR, b"\xff" * 36, 0)      # non-UTF8 name
+@example(pm.CMD_GET_MODE, b"\x00" * 7, 0)           # neither empty nor name
+@example(pm.CMD_GET_VIOLATIONS, b"", 0)             # missing name
+@example(pm.CMD_UNQUARANTINE, b"x" * 33, 0)         # oversized name
 @given(
     st.sampled_from(ALL_CMDS + [0, 1, 0xDEAD]),
     st.binary(max_size=64),

@@ -286,6 +286,138 @@ def test_e1000e_blast_identical(machine, protect):
 
 
 # ---------------------------------------------------------------------------
+# eject-mode parity: a guard denial in eject mode unwinds, rolls back the
+# offender, and quarantines it — the engines must agree on every observable
+# *after* the ejection too: RAM contents, cycles, dmesg, guard stats, the
+# module table, the quarantine list, and the journal.
+
+
+def _ram_digest(kernel):
+    import hashlib
+
+    h = hashlib.sha256()
+    for pfn in sorted(kernel.ram._pages):
+        h.update(pfn.to_bytes(8, "little"))
+        h.update(bytes(kernel.ram._pages[pfn]))
+    return h.hexdigest()
+
+
+EJECT_PROGRAMS = [
+    # state-heavy offender: kmalloc + globals live when the guard trips
+    (
+        """
+        extern void *kmalloc(long size, int flags);
+        long *buf;
+        long acc;
+        int init_module(void) {
+            buf = (long *)kmalloc(512, 0);
+            if (buf == null) { return -1; }
+            buf[0] = 99;
+            acc = 7;
+            return 0;
+        }
+        __export long poke(long addr) {
+            acc = acc + 1;
+            *(long *)addr = acc;
+            return acc;
+        }
+        """,
+        [("poke", (0x2000,))],
+    ),
+    # violation from a nested helper call: the fault unwinds two frames
+    (
+        """
+        long depth;
+        long smash(long addr) { depth = depth + 1; *(long *)addr = 1; return depth; }
+        __export long outer(long addr) { depth = 10; return smash(addr); }
+        """,
+        [("outer", (0x3000,))],
+    ),
+    # a clean call after the ejection: entry refusal parity (-EACCES)
+    (
+        """
+        __export long ok(void) { return 5; }
+        __export long bad(long addr) { return *(long *)addr; }
+        """,
+        [("ok", ()), ("bad", (0x4000,)), ("ok", ())],
+    ),
+]
+
+
+def _run_eject(engine, source, calls, *, machine="r350"):
+    system = CaratKopSystem(SystemConfig(
+        machine=machine, protect=True, engine=engine, enforce_mode="eject",
+    ))
+    kernel = system.kernel
+    compiled = compile_module(source, CompileOptions(
+        module_name="offender", key=system.signing_key))
+    loaded = kernel.insmod(compiled)
+    results = [kernel.run_function(loaded, fn, list(args))
+               for fn, args in calls]
+    return _observe(
+        kernel,
+        {
+            "results": results,
+            "ram": _ram_digest(kernel),
+            "lsmod": kernel.lsmod(),
+            "ejected": loaded.ejected,
+            "quarantined": kernel.quarantined(),
+            "journal_depth": kernel.journal.depth("offender"),
+            "rollbacks": kernel.journal.rollbacks,
+            "violation_faults": kernel.violation_faults,
+            "entry_refusals": kernel.entry_refusals,
+            "guard_stats": system.guard_stats(),
+        },
+    )
+
+
+@pytest.mark.parametrize("machine", [None, "r350"])
+@pytest.mark.parametrize("bank", range(len(EJECT_PROGRAMS)))
+def test_eject_mode_identical(bank, machine):
+    source, calls = EJECT_PROGRAMS[bank]
+    a = _run_eject("interp", source, calls, machine=machine)
+    b = _run_eject("compiled", source, calls, machine=machine)
+    assert a == b
+    assert a["ejected"]
+    assert a["lsmod"] == ["e1000e"]
+    assert a["panicked"] is None
+    assert a["journal_depth"] == 0
+
+
+def test_isolate_mode_identical():
+    a = _run_isolate("interp")
+    b = _run_isolate("compiled")
+    assert a == b
+    assert a["isolated"] == ["offender"]
+
+
+def _run_isolate(engine):
+    system = CaratKopSystem(SystemConfig(
+        machine="r415", protect=True, engine=engine, enforce_mode="isolate",
+    ))
+    kernel = system.kernel
+    compiled = compile_module(
+        "__export long bad(long a) { *(long *)a = 1; return 0; }",
+        CompileOptions(module_name="offender", key=system.signing_key))
+    loaded = kernel.insmod(compiled)
+    results = [
+        kernel.run_function(loaded, "bad", [0x5000]),
+        kernel.run_function(loaded, "bad", [0x5000]),  # refused: isolated
+    ]
+    return _observe(
+        kernel,
+        {
+            "results": results,
+            "ram": _ram_digest(kernel),
+            "lsmod": kernel.lsmod(),
+            "isolated": kernel.isolated_modules(),
+            "entry_refusals": kernel.entry_refusals,
+            "guard_stats": system.guard_stats(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # translation cache behaviour
 
 
