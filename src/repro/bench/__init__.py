@@ -17,18 +17,21 @@ from .harness import (
     throughput_samples,
 )
 from .report import PAPER_CLAIMS, check_figure, experiments_md_rows, render_figure
+from .traceart import FIGURE_TRACE_CONFIGS, emit_trace_artifact
 from . import stats
 
 __all__ = [
     "ALL_FIGURES",
     "Calibration",
     "FIG6_SIZES",
+    "FIGURE_TRACE_CONFIGS",
     "FigureResult",
     "PAPER_CLAIMS",
     "WorkloadConfig",
     "build_system",
     "calibrate",
     "check_figure",
+    "emit_trace_artifact",
     "experiments_md_rows",
     "latency_samples",
     "render_figure",

@@ -1,11 +1,13 @@
 """Command-line entry points.
 
-Four tools mirror the paper's artifacts:
+The tools mirror the paper's artifacts:
 
 - ``caratcc``       — the compiler wrapper (§3.3, Figure 2)
 - ``policy-manager``— the ioctl policy tool (§3.1, Figure 1), demo mode
 - ``pktblast``      — the user-level packet test tool (§4.2)
 - ``caratkop-bench``— regenerate any paper figure
+- ``caratkop-soak`` — the violation/eject/recovery fault-injection soak
+- ``caratkop-trace``— the ftrace/perf-style tracing front end
 """
 
 from __future__ import annotations
@@ -268,6 +270,15 @@ def bench_main(argv: list[str] | None = None) -> int:
         "--markdown", action="store_true",
         help="emit the EXPERIMENTS.md paper-vs-measured summary table",
     )
+    ap.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="also emit per-figure trace artifacts (chrome trace, folded "
+             "stacks, /proc/trace_stat dump, per-callsite guard costs)",
+    )
+    ap.add_argument(
+        "--trace-packets", type=int, default=1000,
+        help="packets per traced artifact run (default 1000)",
+    )
     args = ap.parse_args(argv)
 
     results = {}
@@ -288,6 +299,129 @@ def bench_main(argv: list[str] | None = None) -> int:
         from .bench import experiments_md_rows
 
         print(experiments_md_rows(results))
+    if args.trace_dir:
+        from .bench import emit_trace_artifact
+
+        for fid in results:
+            summary = emit_trace_artifact(
+                args.trace_dir, fid=fid, count=args.trace_packets
+            )
+            print(
+                f"{fid} trace: {summary['events']} events "
+                f"({summary['events_lost']} lost), "
+                f"{summary['guard_checks']} guard checks; hottest "
+                f"{', '.join(summary['top_sites'])} -> "
+                f"{summary['paths']['chrome']}"
+            )
+    return 0
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """The tracing front end: run traced workloads, validate artifacts."""
+    import json
+
+    ap = argparse.ArgumentParser(
+        prog="caratkop-trace",
+        description="ftrace/perf-style tracing for the simulated kernel",
+    )
+    sub = ap.add_subparsers(dest="verb", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="run pktblast with tracing on and export artifacts"
+    )
+    run_p.add_argument("--machine", default="r350", choices=["r350", "r415"])
+    run_p.add_argument("--size", type=int, default=128, help="frame bytes")
+    run_p.add_argument("--count", type=int, default=1000)
+    run_p.add_argument("--baseline", action="store_true")
+    run_p.add_argument("--regions", type=int, default=2)
+    run_p.add_argument(
+        "--engine", default="compiled", choices=["interp", "compiled"]
+    )
+    run_p.add_argument(
+        "--ring-capacity", type=int, default=65536,
+        help="trace ring buffer entries",
+    )
+    run_p.add_argument(
+        "--ring-mode", default="overwrite", choices=["overwrite", "drop"]
+    )
+    run_p.add_argument("--chrome", metavar="FILE",
+                       help="write chrome://tracing JSON here")
+    run_p.add_argument("--folded", metavar="FILE",
+                       help="write folded flamegraph stacks here")
+    run_p.add_argument("--perf", metavar="FILE",
+                       help="write the perf-script text dump here")
+    run_p.add_argument("--stat-out", metavar="FILE",
+                       help="write the /proc/trace_stat dump here")
+
+    val_p = sub.add_parser(
+        "validate", help="schema-check a chrome trace JSON artifact"
+    )
+    val_p.add_argument("file", help="chrome trace JSON file")
+
+    sub.add_parser("schema", help="print the tracepoint event catalog")
+
+    args = ap.parse_args(argv)
+
+    if args.verb == "schema":
+        from .trace.events import describe_schema
+
+        print(describe_schema())
+        return 0
+
+    if args.verb == "validate":
+        from .trace import validate_chrome_trace
+
+        with open(args.file) as f:
+            doc = json.load(f)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for p in problems:
+                print(p, file=sys.stderr)
+            print(f"INVALID: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        n = len(doc["traceEvents"])
+        print(f"OK: {args.file} valid chrome trace, {n} events")
+        return 0
+
+    # run
+    from .trace import to_chrome_trace, to_folded, to_perf_script
+
+    system = CaratKopSystem(
+        SystemConfig(
+            machine=args.machine, protect=not args.baseline,
+            regions=args.regions, engine=args.engine,
+        )
+    )
+    trace = system.kernel.trace
+    trace.configure(capacity=args.ring_capacity, mode=args.ring_mode)
+    trace.enable()
+    result = system.blast(size=args.size, count=args.count)
+    trace.disable()
+    events = trace.snapshot()
+    print(
+        f"{system.technique}: {result.packets_sent} packets, "
+        f"{trace.ring.total} events ({trace.ring.lost} lost), "
+        f"{trace.guard_hist.count} guard checks over "
+        f"{len(trace.guard_sites)} sites"
+    )
+    if args.chrome:
+        with open(args.chrome, "w") as f:
+            json.dump(to_chrome_trace(events, freq_hz=trace.freq_hz), f)
+        print(f"wrote {args.chrome}")
+    if args.folded:
+        with open(args.folded, "w") as f:
+            f.write(to_folded(events, weight="cycles"))
+        print(f"wrote {args.folded}")
+    if args.perf:
+        with open(args.perf, "w") as f:
+            f.write(to_perf_script(events))
+        print(f"wrote {args.perf}")
+    if args.stat_out:
+        with open(args.stat_out, "w") as f:
+            f.write(trace.render_stat())
+        print(f"wrote {args.stat_out}")
+    if not (args.chrome or args.folded or args.perf or args.stat_out):
+        print(trace.render_stat())
     return 0
 
 

@@ -61,6 +61,10 @@ class E1000EDevice:
         #: telemetry-register reads and stall the DMA wire model.  None =
         #: healthy hardware.
         self.fault_injector = None
+        points = kernel.trace.points
+        self._tp_fetch = points["dma:fetch"]
+        self._tp_writeback = points["dma:writeback"]
+        self._tp_rx = points["dma:rx"]
         self.reset()
 
     # -- device state --------------------------------------------------------
@@ -249,6 +253,9 @@ class E1000EDevice:
             wire_at += self._cycles_for_frame(length)
             if self.fault_injector is not None:
                 wire_at += self.fault_injector.dma_stall_cycles(length)
+            tp = self._tp_fetch
+            if tp.enabled:
+                tp.emit(index=next_fetch, addr=buf_addr, len=length)
             self._in_flight.append((wire_at, next_fetch))
             self.sink.deliver(payload)
             self.gptc += 1
@@ -285,6 +292,9 @@ class E1000EDevice:
             except MemoryFault:
                 self._master_abort(f"DD write-back at {status_off:#x}")
                 return
+            tp = self._tp_writeback
+            if tp.enabled:
+                tp.emit(index=idx)
             self.tdh = (idx + 1) % self.ring_entries
             self.icr |= regs.ICR_TXDW
         self._maybe_interrupt()
@@ -325,6 +335,9 @@ class E1000EDevice:
             self._master_abort(f"RX DMA at ring slot {self.rdh}")
             self.mpc += 1
             return False
+        tp = self._tp_rx
+        if tp.enabled:
+            tp.emit(index=self.rdh, len=len(frame))
         self.rdh = (self.rdh + 1) % n
         self.gprc += 1
         self.icr |= regs.ICR_RXT0

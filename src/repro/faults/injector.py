@@ -70,6 +70,13 @@ class FaultInjector:
         self.stalled_frames = 0
         self.dropped_irqs = 0
         self.failed_xmits = 0
+        # fault:inject tracepoint, bound by attach() (None while detached).
+        self._tp = None
+
+    def _emit(self, kind: str, **args) -> None:
+        tp = self._tp
+        if tp is not None and tp.enabled:
+            tp.emit(kind=kind, **args)
 
     # -- hook implementations (called by the instrumented subsystems) -------
 
@@ -80,6 +87,7 @@ class FaultInjector:
         self._telemetry_reads += 1
         if self._telemetry_reads % self.mmio_garble_period == 0:
             self.garbled_reads += 1
+            self._emit("mmio_garble", offset=offset)
             return _ALL_ONES
         return None
 
@@ -90,6 +98,7 @@ class FaultInjector:
         self._dma_frames += 1
         if self._dma_frames % self.dma_stall_period == 0:
             self.stalled_frames += 1
+            self._emit("dma_stall", cycles=self._dma_stall_cycles)
             return self._dma_stall_cycles
         return 0.0
 
@@ -100,6 +109,7 @@ class FaultInjector:
         self._irqs += 1
         if self._irqs % self.irq_drop_period == 0:
             self.dropped_irqs += 1
+            self._emit("irq_drop", line=line)
             return True
         return False
 
@@ -110,6 +120,7 @@ class FaultInjector:
         self._xmits += 1
         if self._xmits % self.xmit_fail_period == 0:
             self.failed_xmits += 1
+            self._emit("xmit_transient")
             return True
         return False
 
@@ -120,6 +131,7 @@ class FaultInjector:
         system.device.fault_injector = self
         system.netdev.fault_injector = self
         system.kernel.irq.fault_injector = self
+        self._tp = system.kernel.trace.points["fault:inject"]
         return self
 
     def detach(self, system) -> None:
@@ -129,6 +141,7 @@ class FaultInjector:
             system.netdev.fault_injector = None
         if system.kernel.irq.fault_injector is self:
             system.kernel.irq.fault_injector = None
+        self._tp = None
 
     def report(self) -> dict[str, int]:
         return {

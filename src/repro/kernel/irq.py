@@ -51,6 +51,14 @@ class IrqController:
         self.fault_injector = None
         #: Interrupts swallowed by the injector.
         self.dropped = 0
+        self._tp_raise = kernel.trace.points["irq:raise"]
+        self._tp_dispatch = kernel.trace.points["irq:dispatch"]
+        self._tp_coalesce = kernel.trace.points["irq:coalesce"]
+
+    def actions(self) -> dict[int, IrqAction]:
+        """A snapshot of the line -> action registry (public read API
+        for /proc, /proc/trace_stat, and tests)."""
+        return dict(self._actions)
 
     def allocate_line(self) -> int:
         line = self._next_line
@@ -104,6 +112,9 @@ class IrqController:
     def raise_irq(self, line: int) -> bool:
         """Device-side: deliver the interrupt.  Returns True if a handler
         ran; False if the line is unclaimed (spurious) or masked."""
+        tp = self._tp_raise
+        if tp.enabled:
+            tp.emit(line=line)
         if not self.kernel.interrupts_enabled:
             return False
         if self.fault_injector is not None and self.fault_injector.drop_irq(line):
@@ -115,10 +126,20 @@ class IrqController:
             return False
         if line in self._servicing:
             action.coalesced += 1
+            tp = self._tp_coalesce
+            if tp.enabled:
+                tp.emit(line=line)
             return False
         self._servicing.add(line)
         try:
             action.fired += 1
+            tp = self._tp_dispatch
+            if tp.enabled:
+                tp.emit(
+                    line=line,
+                    handler=action.handler_name,
+                    module=action.module.name,
+                )
             self.kernel.run_function(action.module, action.handler_name, [line])
         finally:
             self._servicing.discard(line)

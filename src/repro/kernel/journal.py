@@ -99,7 +99,11 @@ class TransactionJournal:
         }
         allocator = kernel.kmalloc_allocator
         symbols_to_retire = False
+        # Rollback is a cold path; one registry lookup covers all records.
+        tp = kernel.trace.points["journal:rollback"]
         for (kind, key), _info in reversed(records):
+            if tp.enabled:
+                tp.emit(module=module, kind=kind, key=key)
             if kind == "kmalloc":
                 if allocator.owns(key):
                     summary["kmalloc_bytes"] += allocator.usable_size(key)

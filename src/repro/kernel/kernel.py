@@ -52,6 +52,11 @@ class Kernel:
         self.symbols = SymbolTable()
         self.devices = DeviceRegistry()
         self.journal = TransactionJournal()
+        # The trace subsystem comes up before the traced subsystems so
+        # they can bind their tracepoints at construction time.
+        from ..trace import TraceSubsystem
+
+        self.trace = TraceSubsystem(self)
         self.irq = IrqController(self)
         self.loader = ModuleLoader(self)
         from .proc import ProcFS
@@ -96,6 +101,9 @@ class Kernel:
     def panic(self, reason: str) -> "NoReturn":  # type: ignore[name-defined]  # noqa: F821
         self.panicked = reason
         self.dmesg(f"Kernel panic - not syncing: {reason}")
+        tp = self.trace.points["kernel:panic"]
+        if tp.enabled:
+            tp.emit(reason=reason)
         raise KernelPanic(reason)
 
     # -- the VM ---------------------------------------------------------------------
@@ -343,6 +351,8 @@ class Kernel:
 
     def _register_core_natives(self) -> None:
         s = self.symbols
+        tp_kmalloc = self.trace.points["mem:kmalloc"]
+        tp_kfree = self.trace.points["mem:kfree"]
 
         def n_kmalloc(ctx, size: int, flags: int = 0) -> int:
             addr = self.kmalloc_allocator.kmalloc(int(size))
@@ -353,11 +363,19 @@ class Kernel:
                 self.journal.record(
                     module.name, "kmalloc", addr, size=int(size)
                 )
+            if tp_kmalloc.enabled:
+                tp_kmalloc.emit(
+                    addr=addr,
+                    size=int(size),
+                    module=module.name if module is not None else "kernel",
+                )
             return addr
 
         def n_kfree(ctx, addr: int) -> None:
             self.kmalloc_allocator.kfree(int(addr))
             self.journal.forget_key("kmalloc", int(addr))
+            if tp_kfree.enabled:
+                tp_kfree.emit(addr=int(addr))
 
         def n_printk(ctx, fmt_ptr: int, *args) -> int:
             fmt = self.address_space.read_cstring(int(fmt_ptr)).decode(

@@ -114,6 +114,11 @@ class ModuleLoader:
         self.kernel = kernel
         self.loaded: dict[str, LoadedModule] = {}
         self._module_area_next = layout.MODULE_AREA_BASE
+        points = kernel.trace.points
+        self._tp_verify = points["module:verify"]
+        self._tp_link = points["module:link"]
+        self._tp_load = points["module:load"]
+        self._tp_eject = points["module:eject"]
 
     # -- insmod ------------------------------------------------------------------
 
@@ -128,6 +133,15 @@ class ModuleLoader:
 
         loaded = self._map_and_link(compiled)
         self.loaded[name] = loaded
+        tp = self._tp_load
+        if tp.enabled:
+            tp.emit(
+                module=name,
+                base=loaded.base,
+                size=loaded.size,
+                protected=compiled.is_protected,
+                guards=compiled.guard_count,
+            )
         kernel.dmesg(f"module {name}: loaded at {loaded.base:#x} "
                      f"({'protected' if compiled.is_protected else 'unprotected'}, "
                      f"{compiled.guard_count} guards)")
@@ -148,15 +162,28 @@ class ModuleLoader:
                 f"module {compiled.name}: quarantined ({quarantine_reason}); "
                 "refusing insmod"
             )
+        tp = self._tp_verify
         if kernel.signing_key is not None:
             if compiled.signature is None:
+                if tp.enabled:
+                    tp.emit(module=compiled.name, signed=False, verified=False)
                 raise LoadError(
                     f"module {compiled.name}: unsigned module rejected"
                 )
             try:
                 verify_signature(compiled.ir, compiled.signature, kernel.signing_key)
             except SignatureError as e:
+                if tp.enabled:
+                    tp.emit(module=compiled.name, signed=True, verified=False)
                 raise LoadError(str(e)) from e
+            if tp.enabled:
+                tp.emit(module=compiled.name, signed=True, verified=True)
+        elif tp.enabled:
+            tp.emit(
+                module=compiled.name,
+                signed=compiled.signature is not None,
+                verified=False,
+            )
         if kernel.require_protected_modules:
             if not compiled.is_protected:
                 raise LoadError(
@@ -245,6 +272,7 @@ class ModuleLoader:
 
         # Resolve imported functions through the kernel symbol table
         # (this is where carat_guard binds to the policy module, §3.2).
+        tp_link = self._tp_link
         for decl in ir.declarations():
             sym = kernel.symbols.lookup(decl.name)
             if sym is None:
@@ -252,6 +280,10 @@ class ModuleLoader:
                     f"module {compiled.name}: unresolved symbol {decl.name!r}"
                 )
             loaded.imports[decl.name] = sym
+            if tp_link.enabled:
+                tp_link.emit(
+                    module=compiled.name, symbol=decl.name, owner=sym.owner
+                )
             if sym.owner != "kernel":
                 owner = self.loaded.get(sym.owner)
                 if owner is not None:
@@ -341,6 +373,9 @@ class ModuleLoader:
         if self.loaded.get(name) is not loaded:
             return {"module": name, "already_unloaded": True}
         kernel.dmesg(f"module {name}: ejecting ({reason})")
+        tp = self._tp_eject
+        if tp.enabled:
+            tp.emit(module=name, reason=reason)
         for hook in kernel.eject_hooks_for(name):
             hook(loaded)
         summary = kernel.journal.rollback(name, kernel)

@@ -27,6 +27,8 @@ class ProcFS:
             "/proc/devices": self._devices,
             "/proc/carat": self._carat,
             "/proc/journal": self._journal,
+            "/proc/trace": self._trace,
+            "/proc/trace_stat": self._trace_stat,
         }
 
     def read(self, path: str) -> str:
@@ -53,8 +55,9 @@ class ProcFS:
 
     def _interrupts(self) -> str:
         lines = []
-        for line in sorted(self.kernel.irq._actions):
-            a = self.kernel.irq._actions[line]
+        actions = self.kernel.irq.actions()
+        for line in sorted(actions):
+            a = actions[line]
             lines.append(
                 f"{line:>4}: {a.fired:>10} {a.coalesced:>8} {a.name}"
             )
@@ -117,6 +120,12 @@ class ProcFS:
                      if hasattr(policy.index, "describe")
                      else f"regions: {len(policy.index)}")
         return "\n".join(lines) + "\n"
+
+    def _trace(self) -> str:
+        return self.kernel.trace.render_trace()
+
+    def _trace_stat(self) -> str:
+        return self.kernel.trace.render_stat()
 
     def _journal(self) -> str:
         """Per-module transaction-journal depth and past rollbacks."""

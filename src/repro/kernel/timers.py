@@ -50,6 +50,7 @@ class TimerWheel:
         self._timers: dict[int, KernelTimer] = {}
         self._ids = itertools.count(1)
         self._running = False
+        self._tp_fire = kernel.trace.points["timer:fire"]
 
     def mod_timer(
         self,
@@ -132,6 +133,13 @@ class TimerWheel:
                 )
                 timer.fired += 1
                 fired += 1
+                tp = self._tp_fire
+                if tp.enabled:
+                    tp.emit(
+                        timer_id=timer.timer_id,
+                        handler=timer.handler_name,
+                        module=timer.module.name,
+                    )
                 self.kernel.run_function(
                     timer.module, timer.handler_name, [timer.arg]
                 )

@@ -51,14 +51,23 @@ class RawPacketSocket:
         self.max_retries = max_retries
         self.sent = 0
         self.stalls = 0
+        points = kernel.trace.points
+        self._tp_enter = points["syscall:enter"]
+        self._tp_exit = points["syscall:exit"]
 
     def sendmsg(self, frame: Union[EthernetFrame, bytes]) -> SendResult:
         raw = frame.encode() if isinstance(frame, EthernetFrame) else bytes(frame)
+        tp = self._tp_enter
+        if tp.enabled:
+            tp.emit(name="sendmsg", bytes=len(raw))
         timing = self.kernel.vm.timing
         machine = self.machine
         if timing is None or machine is None:
             rc = self._xmit_with_retry(raw)
             self.sent += 1
+            tp = self._tp_exit
+            if tp.enabled:
+                tp.emit(name="sendmsg", rc=rc, cycles=0.0, stalled=False)
             return SendResult(rc, 0.0)
         start = timing.cycles
         timing.add_cycles(machine.syscall_cycles)
@@ -82,7 +91,11 @@ class RawPacketSocket:
             self.netdev.device.sync()
             rc = self.netdev.xmit(raw)
         self.sent += 1
-        return SendResult(rc, timing.cycles - start, stalled)
+        latency = timing.cycles - start
+        tp = self._tp_exit
+        if tp.enabled:
+            tp.emit(name="sendmsg", rc=rc, cycles=latency, stalled=stalled)
+        return SendResult(rc, latency, stalled)
 
     def _xmit_with_retry(self, raw: bytes) -> int:
         rc = self.netdev.xmit(raw)

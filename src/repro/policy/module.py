@@ -53,6 +53,13 @@ CMD_SET_MODE_FOR = 0xC0DE0011  # arg: 32-byte name + u32 code (4 = clear)
 CMD_GET_MODE = 0xC0DE0012      # arg: empty (global) or 32-byte name
 CMD_GET_VIOLATIONS = 0xC0DE0013  # arg: 32-byte name -> u64 count
 CMD_UNQUARANTINE = 0xC0DE0014  # arg: 32-byte name -> u32 lifted
+# Tracing-subsystem ioctls (see repro.trace).
+CMD_TRACE_ENABLE = 0xC0DE0015   # arg: empty
+CMD_TRACE_DISABLE = 0xC0DE0016  # arg: empty
+CMD_TRACE_SNAPSHOT = 0xC0DE0017  # arg: empty -> u64 stored, lost, total
+CMD_TRACE_RESET = 0xC0DE0018    # arg: empty
+
+_TRACE_STAT_FMT = "<QQQ"  # stored, lost, total
 
 _NAME_LEN = 32
 
@@ -170,6 +177,24 @@ class CaratPolicyModule:
         self._fast_index = None
         self._fast_cache: Optional[_GuardCache] = None
         self._installed = False
+        self._tp_deny = kernel.trace.points["guard:deny"]
+
+    def _record_violation(self, module_name: str, *, kind: str,
+                          addr: int = 0, size: int = 0, flags: int = 0,
+                          detail: str = "") -> None:
+        """The single deny bookkeeping point: every guard flavour funnels
+        its violation count (and the guard:deny tracepoint) through here."""
+        self.violations[module_name] = self.violations.get(module_name, 0) + 1
+        tp = self._tp_deny
+        if tp.enabled:
+            tp.emit(
+                module=module_name,
+                kind=kind,
+                addr=addr,
+                size=size,
+                flags=flags,
+                detail=detail,
+            )
 
     # -- enforcement modes ----------------------------------------------------
 
@@ -316,7 +341,9 @@ class CaratPolicyModule:
             stats.allowed += 1
             return scanned
         stats.denied += 1
-        self.violations[module_name] = self.violations.get(module_name, 0) + 1
+        self._record_violation(
+            module_name, kind="memory", addr=addr, size=size, flags=flags
+        )
         self.kernel.dmesg(
             f"{MODULE_NAME}: DENY module={module_name} "
             f"{abi.flags_name(flags)} {addr:#018x} size={size}"
@@ -343,7 +370,10 @@ class CaratPolicyModule:
         if name in self.allowed_intrinsics:
             return 1
         self.stats.intrinsic_denied += 1
-        self.violations[module_name] = self.violations.get(module_name, 0) + 1
+        self._record_violation(
+            module_name, kind="intrinsic", flags=abi.FLAG_INTRINSIC,
+            detail=name,
+        )
         self.kernel.dmesg(
             f"{MODULE_NAME}: DENY-INTRINSIC module={module_name} {name}"
         )
@@ -374,7 +404,9 @@ class CaratPolicyModule:
             if ctx is not None and ctx.current_module is not None
             else "?"
         )
-        self.violations[module_name] = self.violations.get(module_name, 0) + 1
+        self._record_violation(
+            module_name, kind="call", flags=abi.FLAG_EXEC, detail=name
+        )
         self.kernel.dmesg(
             f"{MODULE_NAME}: DENY-CALL module={module_name} -> {name}"
         )
@@ -516,6 +548,20 @@ class CaratPolicyModule:
         if cmd == CMD_UNQUARANTINE:
             name = self._decode_fixed_name(arg)
             return struct.pack("<I", int(self.kernel.unquarantine(name)))
+        if cmd == CMD_TRACE_ENABLE:
+            self.kernel.trace.enable()
+            return b""
+        if cmd == CMD_TRACE_DISABLE:
+            self.kernel.trace.disable()
+            return b""
+        if cmd == CMD_TRACE_SNAPSHOT:
+            ring = self.kernel.trace.ring
+            return struct.pack(
+                _TRACE_STAT_FMT, len(ring), ring.lost, ring.total
+            )
+        if cmd == CMD_TRACE_RESET:
+            self.kernel.trace.reset()
+            return b""
         raise IoctlError(ENOTTY, f"unknown ioctl {cmd:#x}")
 
     @staticmethod
@@ -560,6 +606,10 @@ __all__ = [
     "CMD_SET_ENFORCE",
     "CMD_SET_MODE",
     "CMD_SET_MODE_FOR",
+    "CMD_TRACE_DISABLE",
+    "CMD_TRACE_ENABLE",
+    "CMD_TRACE_RESET",
+    "CMD_TRACE_SNAPSHOT",
     "CMD_UNQUARANTINE",
     "CaratPolicyModule",
     "DEVICE_PATH",

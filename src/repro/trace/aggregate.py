@@ -1,0 +1,157 @@
+"""The aggregation layer: counters, log2 histograms, guard-site profiles.
+
+Aggregates are cheap enough to update on every event even when the ring
+is tiny, so ``/proc/trace_stat`` stays truthful after the ring has
+wrapped — the counters saw everything the ring lost.
+"""
+
+from __future__ import annotations
+
+
+class CounterSet:
+    """Named monotonic counters (one per event name, plus ad-hoc ones)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def render(self) -> str:
+        width = max((len(n) for n in self._counts), default=0)
+        return "\n".join(
+            f"{name:<{width}}  {count}"
+            for name, count in sorted(self._counts.items())
+        )
+
+
+class Log2Histogram:
+    """Power-of-two bucketed value distribution, BPF-histogram style.
+
+    Bucket ``b`` holds values in ``[2^(b-1), 2^b)``; bucket 0 holds
+    zero.  Values are truncated to ints (guard costs are fractional
+    cycles; sub-cycle precision is meaningless in a distribution).
+    """
+
+    __slots__ = ("name", "buckets", "count", "total")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        b = int(value).bit_length()
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.count += 1
+        self.total += value
+
+    def reset(self) -> None:
+        self.buckets.clear()
+        self.count = 0
+        self.total = 0.0
+
+    def render(self, width: int = 40) -> str:
+        """The classic bpftrace bar chart."""
+        if not self.buckets:
+            return "(empty)"
+        peak = max(self.buckets.values())
+        lines = []
+        for b in range(min(self.buckets), max(self.buckets) + 1):
+            n = self.buckets.get(b, 0)
+            lo = 0 if b == 0 else 1 << (b - 1)
+            hi = 1 if b == 0 else (1 << b) - 1
+            bar = "@" * max(1 if n else 0, round(n * width / peak))
+            lines.append(f"[{lo:>10}, {hi:>10}]  {n:>8} |{bar:<{width}}|")
+        mean = self.total / self.count if self.count else 0.0
+        lines.append(f"count {self.count}, mean {mean:.1f}")
+        return "\n".join(lines)
+
+
+class GuardSiteStats:
+    """Per-guard-callsite profile, keyed by IR callsite id.
+
+    Site ids come from :func:`repro.trace.vmhook.guard_site_id` —
+    ``module:@function:g<ordinal>`` — and are identical between the
+    interpreter and the compiled engine, so profiles can be compared
+    across engines.  ``cycles`` is the machine model's simulated guard
+    cost attributed to the site, the figure-level "what do guards cost,
+    and where" answer.
+    """
+
+    __slots__ = ("_sites",)
+
+    def __init__(self) -> None:
+        # site -> [hits, cycles, entries_scanned]
+        self._sites: dict[str, list] = {}
+
+    def record(self, site: str, entries: int, cycles: float) -> None:
+        rec = self._sites.get(site)
+        if rec is None:
+            self._sites[site] = [1, cycles, entries]
+        else:
+            rec[0] += 1
+            rec[1] += cycles
+            rec[2] += entries
+
+    def reset(self) -> None:
+        self._sites.clear()
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def total_cycles(self) -> float:
+        return sum(rec[1] for rec in self._sites.values())
+
+    def top(self, n: int = 10) -> list[dict]:
+        """Hottest sites by attributed cycles (hits break ties)."""
+        total = self.total_cycles()
+        out = []
+        ranked = sorted(
+            self._sites.items(), key=lambda kv: (-kv[1][1], -kv[1][0], kv[0])
+        )
+        for site, (hits, cycles, entries) in ranked[:n]:
+            out.append({
+                "site": site,
+                "hits": hits,
+                "cycles": cycles,
+                "entries_scanned": entries,
+                "share": (cycles / total) if total else 0.0,
+            })
+        return out
+
+    def as_dict(self) -> dict[str, dict]:
+        return {
+            site: {"hits": h, "cycles": c, "entries_scanned": e}
+            for site, (h, c, e) in self._sites.items()
+        }
+
+    def render(self, n: int = 10) -> str:
+        rows = self.top(n)
+        if not rows:
+            return "(no guard sites)"
+        lines = [f"{'site':<40} {'hits':>10} {'cycles':>14} {'share':>7}"]
+        for r in rows:
+            lines.append(
+                f"{r['site']:<40} {r['hits']:>10} {r['cycles']:>14.0f} "
+                f"{r['share']:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["CounterSet", "GuardSiteStats", "Log2Histogram"]

@@ -1,0 +1,93 @@
+"""Per-CPU-model event ring buffers.
+
+One ring per trace subsystem (the simulated machine has one CPU; a
+multi-queue future grows this into a list).  Two full-buffer policies,
+matching ftrace's ``overwrite`` option:
+
+- ``overwrite`` (the default, like ftrace): the newest event replaces
+  the oldest; ``lost`` counts evicted events.
+- ``drop``: the buffer keeps the *oldest* events and discards new
+  arrivals; ``lost`` counts the discards.
+
+Either way ``total`` counts every event ever offered, so the operator
+can tell "quiet system" from "tiny buffer" at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import TraceEvent
+
+MODES = ("overwrite", "drop")
+
+
+class RingBuffer:
+    """Fixed-capacity event store with lost-event accounting."""
+
+    __slots__ = ("capacity", "mode", "lost", "total", "_buf", "_head", "_n")
+
+    def __init__(self, capacity: int = 65536, mode: str = "overwrite"):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        if mode not in MODES:
+            raise ValueError(f"ring mode must be one of {MODES}, got {mode!r}")
+        self.capacity = capacity
+        self.mode = mode
+        #: Events evicted (overwrite) or discarded (drop).
+        self.lost = 0
+        #: Events ever offered via :meth:`push`.
+        self.total = 0
+        self._buf: list = [None] * capacity
+        self._head = 0  # index of the oldest stored event
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def push(self, event: "TraceEvent") -> bool:
+        """Store one event.  Returns False when drop mode discarded it."""
+        self.total += 1
+        cap = self.capacity
+        if self._n < cap:
+            self._buf[(self._head + self._n) % cap] = event
+            self._n += 1
+            return True
+        if self.mode == "drop":
+            self.lost += 1
+            return False
+        # overwrite: the new event replaces the oldest.
+        self._buf[self._head] = event
+        self._head = (self._head + 1) % cap
+        self.lost += 1
+        return True
+
+    def snapshot(self) -> list:
+        """A consistent oldest-to-newest copy of the stored events.
+
+        The returned list is detached from the ring: events recorded
+        after the snapshot never appear in it (SNAPSHOT-while-enabled
+        is safe), and a subsequent :meth:`reset` does not clear it.
+        """
+        buf, head, cap = self._buf, self._head, self.capacity
+        return [buf[(head + i) % cap] for i in range(self._n)]
+
+    def reset(self) -> None:
+        self._buf = [None] * self.capacity
+        self._head = 0
+        self._n = 0
+        self.lost = 0
+        self.total = 0
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "mode": self.mode,
+            "stored": self._n,
+            "lost": self.lost,
+            "total": self.total,
+        }
+
+
+__all__ = ["MODES", "RingBuffer"]

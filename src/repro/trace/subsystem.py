@@ -1,0 +1,192 @@
+"""The trace subsystem: tracepoint registry, ring, aggregates, control.
+
+One :class:`TraceSubsystem` hangs off every kernel (``kernel.trace``),
+created before the traced subsystems so they can bind their tracepoints
+at construction time.  It owns:
+
+- the :class:`~repro.trace.tracepoint.Tracepoint` registry, pre-seeded
+  from :data:`~repro.trace.events.EVENT_SCHEMA`;
+- the per-CPU-model event :class:`~repro.trace.ring.RingBuffer`;
+- the aggregation layer (named counters, the guard cycle-cost log2
+  histogram, per-guard-callsite profiles);
+- the :class:`~repro.trace.vmhook.VMTracer` both execution engines
+  attach while tracing is enabled.
+
+Control flows through :meth:`enable` / :meth:`disable` /
+:meth:`snapshot` / :meth:`reset` — reachable from the ``/dev/carat``
+TRACE_* ioctls, the ``caratkop-trace`` CLI, and ``repro.bench``.
+
+Tracing is observability only: nothing here reads or writes ``timing``
+counters, so simulated results are bit-identical with tracing enabled,
+disabled, or absent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .aggregate import CounterSet, GuardSiteStats, Log2Histogram
+from .events import EVENT_SCHEMA, TraceEvent
+from .ring import RingBuffer
+from .tracepoint import Tracepoint
+from .vmhook import VMTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.kernel import Kernel
+
+
+class TraceSubsystem:
+    """Kernel-wide tracing control plane and event store."""
+
+    def __init__(self, kernel: "Kernel", capacity: int = 65536,
+                 mode: str = "overwrite"):
+        self.kernel = kernel
+        self.enabled = False
+        self.ring = RingBuffer(capacity, mode)
+        self.counters = CounterSet()
+        self.guard_hist = Log2Histogram("guard cycles")
+        self.guard_sites = GuardSiteStats()
+        #: The persistent VM hook object.  Persistent on purpose: the
+        #: compiled engine keys translations on tracer *identity*, so an
+        #: enable -> disable -> enable cycle re-attaches the same object
+        #: and rehydrates the traced translations from cache.
+        self.vm_tracer = VMTracer(self)
+        self._seq = 0
+        self.points: dict[str, Tracepoint] = {}
+        for name, (category, _fields) in EVENT_SCHEMA.items():
+            self.points[name] = Tracepoint(name, category, self)
+        #: Fast path for the hottest point (bound once, read per guard).
+        self.tp_guard_check = self.points["guard:check"]
+
+    # -- registry -------------------------------------------------------------------
+
+    def point(self, name: str, category: Optional[str] = None) -> Tracepoint:
+        """Get-or-create the tracepoint for ``name``.
+
+        Subsystems call this once at construction and cache the result;
+        unknown names register ad-hoc points (category defaults to the
+        ``cat:`` prefix of the name).
+        """
+        tp = self.points.get(name)
+        if tp is None:
+            if category is None:
+                category = name.split(":", 1)[0]
+            tp = Tracepoint(name, category, self)
+            tp.enabled = self.enabled and not tp.suppressed
+            self.points[name] = tp
+        return tp
+
+    # -- the event sink -------------------------------------------------------------
+
+    def record(self, name: str, args: dict,
+               stack: Optional[tuple] = None) -> None:
+        """Append one event (tracepoints land here when enabled)."""
+        event = TraceEvent(self._seq, self.kernel.time_us(), name, args, stack)
+        self._seq += 1
+        self.counters.incr(name)
+        self.ring.push(event)
+
+    # -- control --------------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Flip every non-suppressed static key on and attach the VM hook."""
+        self.enabled = True
+        for tp in self.points.values():
+            tp.enabled = not tp.suppressed
+        # Attaching the tracer changes the compiled engine's translation
+        # key, so guard closures retranslate into their traced variants.
+        self.kernel.vm.tracer = self.vm_tracer
+
+    def disable(self) -> None:
+        """Flip every static key off and detach the VM hook."""
+        self.enabled = False
+        for tp in self.points.values():
+            tp.enabled = False
+        vm = getattr(self.kernel, "_vm", None)
+        if vm is not None:
+            vm.tracer = None
+
+    def suppress(self, name: str, suppressed: bool = True) -> None:
+        """Per-point operator override (like echo 0 > events/.../enable)."""
+        tp = self.point(name)
+        tp.suppressed = suppressed
+        tp.enabled = self.enabled and not suppressed
+
+    def configure(self, capacity: Optional[int] = None,
+                  mode: Optional[str] = None) -> None:
+        """Rebuild the ring with a new capacity and/or overflow mode."""
+        self.ring = RingBuffer(
+            capacity if capacity is not None else self.ring.capacity,
+            mode if mode is not None else self.ring.mode,
+        )
+
+    def snapshot(self) -> list:
+        """A detached, consistent copy of the ring (safe while enabled)."""
+        return self.ring.snapshot()
+
+    def reset(self) -> None:
+        """Clear the ring and every aggregate; sequence restarts at 0."""
+        self.ring.reset()
+        self.counters.reset()
+        self.guard_hist.reset()
+        self.guard_sites.reset()
+        self._seq = 0
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "ring": self.ring.stats(),
+            "events": self.counters.as_dict(),
+            "guard_checks": self.guard_hist.count,
+            "guard_cycles": self.guard_hist.total,
+            "guard_sites": len(self.guard_sites),
+        }
+
+    @property
+    def freq_hz(self) -> Optional[float]:
+        machine = self.kernel.machine
+        return machine.freq_hz if machine is not None else None
+
+    # -- operator surfaces (/proc/trace, /proc/trace_stat) --------------------------
+
+    def render_trace(self) -> str:
+        """The ``/proc/trace`` view: a perf-script dump of the ring."""
+        from .exporters import to_perf_script
+
+        header = (
+            f"# tracer: caratkop  enabled={int(self.enabled)}  "
+            f"entries={len(self.ring)}  lost={self.ring.lost}\n"
+        )
+        return header + to_perf_script(self.ring.snapshot())
+
+    def render_stat(self) -> str:
+        """The ``/proc/trace_stat`` view: counters, histogram, hot sites."""
+        lines = [
+            f"tracing: {'on' if self.enabled else 'off'}",
+            "",
+            "[ring]",
+        ]
+        for key, value in self.ring.stats().items():
+            lines.append(f"{key:<10} {value}")
+        lines += ["", "[events]"]
+        counters = self.counters.render()
+        lines.append(counters if counters else "(none)")
+        lines += ["", "[guard cycle cost]", self.guard_hist.render()]
+        lines += ["", "[guard sites]", self.guard_sites.render()]
+        irq = getattr(self.kernel, "irq", None)
+        if irq is not None:
+            lines += ["", "[irq]"]
+            actions = irq.actions()
+            if actions:
+                for line, action in sorted(actions.items()):
+                    lines.append(
+                        f"irq{line:<4} fired={action.fired} "
+                        f"coalesced={action.coalesced} "
+                        f"handler={action.module.name}:{action.handler_name}"
+                    )
+            else:
+                lines.append("(no handlers)")
+        return "\n".join(lines) + "\n"
+
+
+__all__ = ["TraceSubsystem"]

@@ -1,0 +1,51 @@
+"""Static tracepoints with static-key-style enable/disable.
+
+A :class:`Tracepoint` is registered once per site (subsystems bind them
+at ``__init__`` time) and checked on the hot path as one attribute load
+plus one branch::
+
+    tp = self._tp_fire
+    if tp.enabled:
+        tp.emit(timer_id=tid, handler=name)
+
+That check is the whole disabled-tracing cost for interpreted sites —
+the moral equivalent of Linux's static-key NOP.  The compiled engine
+does one better for guard checks: the tracer's identity is part of a
+translation's validity key, so closures generated while tracing is off
+contain no trace code at all (see ``repro.vm.compiled``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .subsystem import TraceSubsystem
+
+
+class Tracepoint:
+    """One named event source.  ``enabled`` is the static key."""
+
+    __slots__ = ("name", "category", "enabled", "suppressed", "_subsystem")
+
+    def __init__(self, name: str, category: str,
+                 subsystem: "TraceSubsystem"):
+        self.name = name
+        self.category = category
+        #: The hot-path gate: True only while the subsystem is enabled
+        #: and the point is not individually suppressed.
+        self.enabled = False
+        #: Per-point operator override (survives enable/disable cycles).
+        self.suppressed = False
+        self._subsystem = subsystem
+
+    def emit(self, **args) -> None:
+        """Record one event.  Callers gate on ``enabled`` first, so the
+        disabled path never builds the kwargs dict."""
+        self._subsystem.record(self.name, args)
+
+    def emit_with_stack(self, args: dict, stack: Optional[tuple]) -> None:
+        self._subsystem.record(self.name, args, stack)
+
+
+__all__ = ["Tracepoint"]

@@ -1,0 +1,127 @@
+"""The VM-side tracer: function stacks and guard-site attribution.
+
+Both execution engines carry an optional ``tracer`` (``None`` while
+tracing is off).  When attached, the engines call:
+
+- :meth:`VMTracer.enter_function` / :meth:`VMTracer.exit_function`
+  around every IR function frame, maintaining the call stack that guard
+  events capture (the substrate for folded flamegraph stacks);
+- :meth:`VMTracer.on_guard` after every allowed guard check, with the
+  stable callsite id, the checked access, the entries scanned, and the
+  simulated guard cost.
+
+``on_guard`` feeds the guard-cost histogram and the per-callsite
+profile unconditionally, and pushes a ``guard:check`` ring event when
+that tracepoint is enabled.  Nothing here touches ``timing`` — the
+tracer observes costs the engines already charged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .. import abi
+from ..ir.instructions import Br, Call, Ret, Switch, Unreachable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .subsystem import TraceSubsystem
+
+_TERMINATORS = (Br, Ret, Switch, Unreachable)
+
+
+def guard_site_id(module_name: str, fn_name: str, ordinal: int) -> str:
+    """The stable callsite key: module, function, guard ordinal.
+
+    The ordinal counts guard call sites in block order within the
+    function (guard calls are void, so they carry no SSA name); both
+    engines derive it from the same walk, so interp and compiled runs
+    attribute costs to identical keys.
+    """
+    return f"{module_name}:@{fn_name}:g{ordinal}"
+
+
+def is_guard_call(inst) -> bool:
+    return type(inst) is Call and (
+        inst.is_guard or inst.callee.name == abi.GUARD_SYMBOL
+    )
+
+
+class VMTracer:
+    """Engine hooks feeding one :class:`TraceSubsystem`."""
+
+    __slots__ = ("subsystem", "stack", "_site_ids")
+
+    def __init__(self, subsystem: "TraceSubsystem"):
+        self.subsystem = subsystem
+        self.stack: list[str] = []
+        # Guard instruction -> site id.  Keyed by the instruction object
+        # itself (held strongly, so ids are never reused under us); the
+        # interpreter resolves sites through this, the compiled engine
+        # bakes the id into the closure at translate time.
+        self._site_ids: dict = {}
+
+    # -- function frames ----------------------------------------------------
+
+    def enter_function(self, name: str) -> None:
+        self.stack.append(name)
+
+    def exit_function(self, name: str) -> None:
+        stack = self.stack
+        if stack and stack[-1] == name:
+            stack.pop()
+
+    # -- guard checks -------------------------------------------------------
+
+    def site_for(self, module_name: str, inst) -> str:
+        """Resolve (and memoize) the callsite id for a guard instruction.
+
+        Walks the owning function counting guard call sites in block
+        order, stopping at each block's terminator — the same traversal
+        the compiled engine's translator performs, so ordinals agree.
+        """
+        site = self._site_ids.get(inst)
+        if site is not None:
+            return site
+        fn = inst.function
+        if fn is None:  # detached instruction (hand-built IR in tests)
+            return guard_site_id(module_name, "?", 0)
+        ordinal = 0
+        found = None
+        for block in fn.blocks:
+            for candidate in block.instructions:
+                if isinstance(candidate, _TERMINATORS):
+                    break
+                if is_guard_call(candidate):
+                    if candidate is inst:
+                        found = ordinal
+                        break
+                    ordinal += 1
+            if found is not None:
+                break
+        site = guard_site_id(
+            module_name, fn.name, found if found is not None else ordinal
+        )
+        self._site_ids[inst] = site
+        return site
+
+    def on_guard(self, site: str, addr: int, size: int, flags: int,
+                 entries: int, cycles: float) -> None:
+        sub = self.subsystem
+        sub.guard_hist.record(cycles)
+        sub.guard_sites.record(site, entries, cycles)
+        tp = sub.tp_guard_check
+        if tp.enabled:
+            tp.emit_with_stack(
+                {
+                    "site": site,
+                    "addr": addr,
+                    "size": size,
+                    "flags": flags,
+                    "entries": entries,
+                    "cycles": cycles,
+                },
+                tuple(self.stack),
+            )
+
+
+__all__ = ["VMTracer", "guard_site_id", "is_guard_call"]

@@ -31,8 +31,10 @@ only ``timing.instructions``.  The differential test
 
 Translations are cached on the :class:`LoadedModule` (keyed by engine
 instance, then by function) and invalidated when the module IR's
-``generation`` counter moves or the engine's profiler changes (profiler
-presence is specialized into the closures).
+``generation`` counter moves or the engine's profiler or tracer changes
+(profiler and tracer presence is specialized into the closures — a
+disabled tracer therefore costs literally nothing in generated code,
+the compiled-engine analog of a patched-out static key).
 """
 
 from __future__ import annotations
@@ -70,6 +72,7 @@ from ..ir.values import (
 from ..kernel import layout
 from ..kernel.module_loader import LoadedModule
 from ..kernel.panic import MemoryFault
+from ..trace.vmhook import guard_site_id
 from .interp import Interpreter, InterpreterError
 
 _MASK64 = (1 << 64) - 1
@@ -101,16 +104,17 @@ class _CompiledFunction:
     """A function's translation, tagged with its invalidation keys."""
 
     __slots__ = ("blocks", "block_names", "nregs", "module", "generation",
-                 "profiler")
+                 "profiler", "tracer")
 
     def __init__(self, blocks, block_names, nregs, module, generation,
-                 profiler):
+                 profiler, tracer):
         self.blocks = blocks
         self.block_names = block_names
         self.nregs = nregs
         self.module = module
         self.generation = generation
         self.profiler = profiler
+        self.tracer = tracer
 
 
 class CompiledEngine(Interpreter):
@@ -147,6 +151,9 @@ class CompiledEngine(Interpreter):
         profiler = self.profiler
         if profiler is not None:
             profiler.enter_function(fn.name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.enter_function(fn.name)
         timing = self.timing
         regs = [None] * code.nregs
         regs[1:1 + len(args)] = args
@@ -186,6 +193,8 @@ class CompiledEngine(Interpreter):
             self._depth -= 1
             if profiler is not None:
                 profiler.exit_function(fn.name)
+            if tracer is not None:
+                tracer.exit_function(fn.name)
 
     # -- translation cache -------------------------------------------------
 
@@ -196,6 +205,7 @@ class CompiledEngine(Interpreter):
             and entry.module is module
             and entry.generation == module.ir.generation
             and entry.profiler is self.profiler
+            and entry.tracer is self.tracer
         ):
             return entry
         store = module.translations.get(self)
@@ -208,6 +218,7 @@ class CompiledEngine(Interpreter):
             entry is None
             or entry.generation != generation
             or entry.profiler is not self.profiler
+            or entry.tracer is not self.tracer
         ):
             entry = _Translator(self, module, fn).translate(generation)
             store[fn] = entry
@@ -238,6 +249,11 @@ class _Translator:
         self.fn = fn
         self.timing = engine.timing
         self.profiler = engine.profiler
+        self.tracer = engine.tracer
+        # Guard call sites numbered in translation order; the same walk
+        # (blocks in order, stopping at terminators) backs the
+        # interpreter's VMTracer.site_for, so ids agree across engines.
+        self._guard_ordinal = 0
         # Slot 0 is the return value; arguments fill 1..n; every
         # instruction gets a slot (void results simply never store).
         self.regmap: dict = {}
@@ -283,6 +299,7 @@ class _Translator:
             self.module,
             generation,
             self.profiler,
+            self.tracer,
         )
 
     # -- codegen helpers ---------------------------------------------------
@@ -1126,9 +1143,17 @@ class _Translator:
         gsym = abi.GUARD_SYMBOL
         timing = self.timing
         prof = self.profiler
+        ordinal = self._guard_ordinal
+        self._guard_ordinal += 1
         ar, av = self._spec(inst.args[0])
         sr, sv = self._spec(inst.args[1])
         fr, fv = self._spec(inst.args[2])
+        if self.tracer is not None:
+            # Traced translation: the static key is the translation
+            # itself — these closures exist only while a tracer is
+            # attached; untraced translations carry no trace code at all.
+            return self._traced_guard_core(inst, ordinal, ar, av, sr, sv,
+                                           fr, fv)
         if timing is not None:
             gb = timing.machine.guard_base_cycles
             ge = timing.machine.guard_entry_cycles
@@ -1189,6 +1214,65 @@ class _Translator:
                 _e.guard_checks += 1
                 sym.native(_e, a, s, f, _n)
                 _p.on_guard(a, s, f, 0.0)
+        return core
+
+    def _traced_guard_core(self, inst: Call, ordinal: int,
+                           ar, av, sr, sv, fr, fv):
+        """The guard closure compiled while a tracer is attached.
+
+        The callsite id is baked in at translate time (no per-hit walk),
+        and the cost expression ``cost = base + entry * n`` is the same
+        float-op sequence the untraced closures charge, so simulated
+        accounting stays bit-identical with tracing on.  The profiler is
+        consulted dynamically (traced runs are not the <2%-overhead
+        path)."""
+        eng = self.engine
+        module = self.module
+        imports = module.imports
+        mname = module.name
+        gsym = abi.GUARD_SYMBOL
+        timing = self.timing
+        prof = self.profiler
+        tracer = self.tracer
+        site = guard_site_id(mname, self.fn.name, ordinal)
+        if timing is not None:
+            gb = timing.machine.guard_base_cycles
+            ge = timing.machine.guard_entry_cycles
+
+            def core(regs, _e=eng, _m=module, _imp=imports, _n=mname,
+                     _g=gsym, _t=timing, _gb=gb, _ge=ge, _p=prof,
+                     _tr=tracer, _site=site, _i=inst):
+                a = regs[av] if ar else av
+                s = regs[sv] if sr else sv
+                f = regs[fv] if fr else fv
+                sym = _imp.get(_g)
+                if sym is None or sym.native is None:
+                    _e._dispatch_guard(_m, a, s, f, _i)
+                    return
+                _e.guard_checks += 1
+                n = int(sym.native(_e, a, s, f, _n) or 0)
+                cost = _gb + _ge * n
+                _t.guards += 1
+                _t.guard_entries_scanned += n
+                _t.cycles += cost
+                if _p is not None:
+                    _p.on_guard(a, s, f, cost)
+                _tr.on_guard(_site, a, s, f, n, cost)
+        else:
+            def core(regs, _e=eng, _m=module, _imp=imports, _n=mname,
+                     _g=gsym, _p=prof, _tr=tracer, _site=site, _i=inst):
+                a = regs[av] if ar else av
+                s = regs[sv] if sr else sv
+                f = regs[fv] if fr else fv
+                sym = _imp.get(_g)
+                if sym is None or sym.native is None:
+                    _e._dispatch_guard(_m, a, s, f, _i)
+                    return
+                _e.guard_checks += 1
+                n = int(sym.native(_e, a, s, f, _n) or 0)
+                if _p is not None:
+                    _p.on_guard(a, s, f, 0.0)
+                _tr.on_guard(_site, a, s, f, n, 0.0)
         return core
 
     # -- terminators -------------------------------------------------------

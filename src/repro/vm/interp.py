@@ -98,6 +98,12 @@ class Interpreter:
         self.current_module: Optional[LoadedModule] = None
         #: Optional execution profiler (see :mod:`repro.vm.trace`).
         self.profiler = None
+        #: Optional VM tracer (see :mod:`repro.trace.vmhook`), attached by
+        #: the kernel's trace subsystem while tracing is enabled.
+        self.tracer = None
+        trace = getattr(kernel, "trace", None)
+        if trace is not None and trace.enabled:
+            self.tracer = trace.vm_tracer
 
     # -- public entry ------------------------------------------------------------
 
@@ -141,6 +147,9 @@ class Interpreter:
         profiler = self.profiler
         if profiler is not None:
             profiler.enter_function(fn.name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.enter_function(fn.name)
         try:
             block = fn.entry
             prev = None
@@ -263,6 +272,8 @@ class Interpreter:
             self._depth -= 1
             if profiler is not None:
                 profiler.exit_function(fn.name)
+            if tracer is not None:
+                tracer.exit_function(fn.name)
 
     # -- operand evaluation ---------------------------------------------------------
 
@@ -504,10 +515,10 @@ class Interpreter:
         addr = self._eval(inst.args[0], env, module)
         size = self._eval(inst.args[1], env, module)
         flags = self._eval(inst.args[2], env, module)
-        return self._dispatch_guard(module, addr, size, flags)
+        return self._dispatch_guard(module, addr, size, flags, inst)
 
     def _dispatch_guard(self, module: LoadedModule, addr: int, size: int,
-                        flags: int):
+                        flags: int, inst: Optional[Call] = None):
         """Guard dispatch after argument evaluation (shared with the
         compiled engine): late re-link, native/IR policy, guard timing."""
         self.guard_checks += 1
@@ -526,14 +537,23 @@ class Interpreter:
             # Guard natives return the number of region entries scanned so
             # the timing model can charge the machine-specific cost.
             entries = sym.native(self, addr, size, flags, module.name)
+            n = int(entries or 0)
+            cost = (
+                self.timing.machine.guard_cost(n)
+                if self.timing is not None else 0.0
+            )
             if self.timing is not None:
-                self.timing.add_guard(int(entries or 0))
+                self.timing.add_guard(n)
             if self.profiler is not None:
-                self.profiler.on_guard(
-                    addr, size, flags,
-                    self.timing.machine.guard_cost(int(entries or 0))
-                    if self.timing is not None else 0.0,
+                self.profiler.on_guard(addr, size, flags, cost)
+            tracer = self.tracer
+            if tracer is not None:
+                site = (
+                    tracer.site_for(module.name, inst)
+                    if inst is not None
+                    else f"{module.name}:?:g0"
                 )
+                tracer.on_guard(site, addr, size, flags, n, cost)
             return None
         # Policy implemented in IR (exotic, but allowed): execute it.
         target_module = self.kernel.loader.loaded.get(sym.owner)

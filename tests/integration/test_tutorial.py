@@ -96,3 +96,56 @@ def test_tutorial_end_to_end():
     with pytest.raises(KernelPanic, match="forbidden W"):
         kernel2.run_function(loaded2, "record", [1])
     assert any("DENY module=stats" in l for l in kernel2.dmesg_log)
+
+
+def test_tutorial_trace_the_crash(tmp_path):
+    # step 6: same buggy module, but traced and ejected instead of panicked
+    key = SigningKey.generate()
+    kernel = Kernel(signing_key=key, require_protected_modules=True)
+    policy = CaratPolicyModule(kernel, mode="eject").install()
+    manager = PolicyManager(kernel)
+    manager.install_two_region_policy()
+
+    trace = kernel.trace
+    trace.enable()  # flip every static key on
+
+    buggy = compile_module(
+        BUGGY, CompileOptions(module_name="stats", protect=True, key=key)
+    )
+    loaded = kernel.insmod(buggy)
+    ring = kernel.address_space.read_int(loaded.address_of("samples"), 8)
+    manager.clear()
+    manager.allow(loaded.base, loaded.size)
+    manager.allow(ring, 64 * 8)
+    manager.set_default(False)
+
+    rc = kernel.run_function(loaded, "record", [1])
+    trace.disable()
+
+    assert rc == -14  # -EFAULT: the call failed cleanly
+    assert loaded.ejected
+    assert "stats" not in kernel.lsmod()
+    assert kernel.panicked is None  # nobody died this time
+
+    # the whole story is on film
+    names = [e.name for e in trace.snapshot()]
+    for expected in ("module:verify", "module:load", "mem:kmalloc",
+                     "guard:check", "guard:deny", "module:eject",
+                     "journal:rollback"):
+        assert expected in names, f"missing {expected}"
+    deny = next(e for e in trace.snapshot() if e.name == "guard:deny")
+    assert deny.args["module"] == "stats"
+    assert deny.args["kind"] == "memory"
+
+    stat = kernel.proc.read("/proc/trace_stat")
+    assert "[guard cycle cost]" in stat
+    assert "stats:@" in stat  # per-callsite attribution
+
+    from repro.trace import to_folded
+
+    folded = tmp_path / "stats.folded"
+    folded.write_text(to_folded(trace.snapshot(), weight="cycles"))
+    lines = folded.read_text().splitlines()
+    assert lines
+    assert all(l.rsplit(" ", 1)[0].endswith("carat_guard") for l in lines)
+    assert any(";record;" in l or ";init_module;" in l for l in lines)

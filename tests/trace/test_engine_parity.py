@@ -1,0 +1,118 @@
+"""Tracing must be free when off and identical across engines when on.
+
+Three properties, on the Figure 3 configuration (R415, protected
+driver, 128-byte frames):
+
+1. **Disabled == absent.**  A run with the subsystem present-but-
+   disabled produces byte-identical simulated results to a run where
+   ``kernel.trace`` has been deleted outright (a build without the
+   subsystem), for both engines.
+2. **Tracing is observability-only.**  Enabling tracing changes nothing
+   about the simulated machine: packet counts, cycle totals (float
+   bit-pattern included), and guard statistics are identical.
+3. **Engine parity.**  The interpreter and the compiled engine emit the
+   same event stream and attribute guard costs to the same callsites.
+"""
+
+import pytest
+
+from repro.core.system import CaratKopSystem, SystemConfig
+
+PACKETS = 50
+
+
+def _fig3_system(engine):
+    return CaratKopSystem(
+        SystemConfig(machine="r415", protect=True, engine=engine)
+    )
+
+
+def _observables(system, result):
+    return {
+        "packets_sent": result.packets_sent,
+        "errors": result.errors,
+        "stalls": result.stalls,
+        "total_cycles": result.total_cycles,  # float, compared bit-for-bit
+        "throughput_pps": result.throughput_pps,
+        "guard_stats": system.guard_stats(),
+        "instructions": system.kernel.vm.instructions_executed,
+    }
+
+
+@pytest.mark.parametrize("engine", ["interp", "compiled"])
+class TestBitIdentity:
+    def test_disabled_equals_absent(self, engine):
+        disabled = _fig3_system(engine)
+        r1 = disabled.blast(size=128, count=PACKETS)
+
+        absent = _fig3_system(engine)
+        del absent.kernel.trace  # simulate a build without the subsystem
+        r2 = absent.blast(size=128, count=PACKETS)
+
+        assert _observables(disabled, r1) == _observables(absent, r2)
+
+    def test_enabled_equals_disabled(self, engine):
+        off = _fig3_system(engine)
+        r_off = off.blast(size=128, count=PACKETS)
+
+        on = _fig3_system(engine)
+        on.kernel.trace.enable()
+        r_on = on.blast(size=128, count=PACKETS)
+        on.kernel.trace.disable()
+
+        assert on.kernel.trace.ring.total > 0  # it really traced
+        assert _observables(off, r_off) == _observables(on, r_on)
+
+    def test_enable_disable_cycle_round_trips(self, engine):
+        """Toggling must retranslate back to the untraced fast path
+        with no behavioral residue (compiled-engine cache identity)."""
+        never = _fig3_system(engine)
+        r_never = never.blast(size=128, count=2 * PACKETS)
+
+        toggled = _fig3_system(engine)
+        toggled.kernel.trace.enable()
+        toggled.blast(size=128, count=PACKETS)
+        toggled.kernel.trace.disable()
+        toggled.kernel.trace.reset()
+        r_after = toggled.blast(size=128, count=PACKETS)
+
+        # per-blast observables after the toggle match the second half
+        # of an untoggled double-blast
+        assert r_after.packets_sent == PACKETS
+        assert toggled.kernel.trace.ring.total == 0  # really off again
+        assert (_observables(toggled, r_after)["guard_stats"]
+                == _observables(never, r_never)["guard_stats"])
+
+
+class TestEngineParity:
+    def _traced_run(self, engine):
+        system = _fig3_system(engine)
+        trace = system.kernel.trace
+        trace.enable()
+        system.blast(size=128, count=PACKETS)
+        trace.disable()
+        return trace
+
+    def test_identical_event_streams(self):
+        ti = self._traced_run("interp")
+        tc = self._traced_run("compiled")
+        si = [(e.name, e.args) for e in ti.snapshot()]
+        sc = [(e.name, e.args) for e in tc.snapshot()]
+        assert si == sc
+        assert len(si) > 0
+
+    def test_identical_guard_site_attribution(self):
+        ti = self._traced_run("interp")
+        tc = self._traced_run("compiled")
+        assert ti.guard_sites.as_dict() == tc.guard_sites.as_dict()
+        assert len(ti.guard_sites) > 0
+        # the histogram agrees too
+        assert ti.guard_hist.buckets == tc.guard_hist.buckets
+        assert ti.guard_hist.count == tc.guard_hist.count
+        assert ti.guard_hist.total == tc.guard_hist.total
+
+    def test_site_ids_name_the_driver(self):
+        tc = self._traced_run("compiled")
+        sites = tc.guard_sites.as_dict()
+        assert all(s.count(":") == 2 for s in sites)  # module:@fn:gN
+        assert any(s.startswith("e1000e:@") for s in sites)

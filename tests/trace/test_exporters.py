@@ -1,0 +1,139 @@
+"""Exporter correctness: chrome trace validity and structure, perf-script
+text, folded flamegraph stacks, and the event-schema catalog."""
+
+import json
+
+import pytest
+
+from repro.core.system import CaratKopSystem, SystemConfig
+from repro.trace import (
+    EVENT_SCHEMA,
+    TraceEvent,
+    to_chrome_trace,
+    to_folded,
+    to_perf_script,
+    validate_chrome_trace,
+)
+from repro.trace.events import describe_schema
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced 30-packet fig3-config run shared across the module."""
+    system = CaratKopSystem(SystemConfig(machine="r415", protect=True))
+    trace = system.kernel.trace
+    trace.enable()
+    system.blast(size=128, count=30)
+    trace.disable()
+    return trace
+
+
+class TestChromeTrace:
+    def test_real_run_is_valid(self, traced):
+        doc = to_chrome_trace(traced.snapshot(), freq_hz=traced.freq_hz)
+        assert validate_chrome_trace(doc) == []
+        # and it survives a JSON round trip
+        assert validate_chrome_trace(json.loads(json.dumps(doc))) == []
+
+    def test_process_metadata_first(self, traced):
+        doc = to_chrome_trace(traced.snapshot(), process_name="pkt")
+        meta = doc["traceEvents"][0]
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "pkt"
+
+    def test_syscalls_pair_into_duration_slices(self, traced):
+        events = traced.snapshot()
+        enters = sum(1 for e in events if e.name == "syscall:enter")
+        doc = to_chrome_trace(events)
+        slices = [e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["cat"] == "syscall"]
+        assert len(slices) == enters
+        assert all(s["dur"] >= 0 for s in slices)
+        assert all(s["name"] == "sendmsg" for s in slices)
+
+    def test_guard_checks_are_slices_with_simulated_cost(self, traced):
+        doc = to_chrome_trace(traced.snapshot(), freq_hz=traced.freq_hz)
+        guards = [e for e in doc["traceEvents"]
+                  if e["ph"] == "X" and e["cat"] == "guard"]
+        assert guards
+        assert all(g["name"] == "carat_guard" for g in guards)
+        assert any(g["dur"] > 0 for g in guards)
+
+    def test_unbalanced_enter_becomes_instant(self):
+        events = [TraceEvent(0, 1.0, "syscall:enter",
+                             {"name": "sendmsg", "bytes": 64}, None)]
+        doc = to_chrome_trace(events)
+        kinds = [(e["ph"], e["name"]) for e in doc["traceEvents"][1:]]
+        assert kinds == [("i", "syscall:enter")]
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_rejects_garbage(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"noTraceEvents": 1}) != []
+        bad_phase = {"traceEvents": [
+            {"ph": "Z", "name": "x", "ts": 0, "pid": 0, "tid": 0}]}
+        assert any("phase" in p for p in validate_chrome_trace(bad_phase))
+        no_dur = {"traceEvents": [
+            {"ph": "X", "name": "x", "ts": 0, "pid": 0, "tid": 0}]}
+        assert any("dur" in p for p in validate_chrome_trace(no_dur))
+        no_name = {"traceEvents": [
+            {"ph": "i", "ts": 0, "pid": 0, "tid": 0}]}
+        assert any("name" in p for p in validate_chrome_trace(no_name))
+
+
+class TestPerfScript:
+    def test_format(self, traced):
+        text = to_perf_script(traced.snapshot(), comm="pktblast")
+        lines = text.splitlines()
+        assert lines
+        assert all(line.lstrip().startswith("pktblast [000]")
+                   for line in lines)
+        guard_lines = [l for l in lines if "guard:check:" in l]
+        assert guard_lines
+        assert "addr=0x" in guard_lines[0]  # addresses render hex
+
+    def test_empty(self):
+        assert to_perf_script([]) == ""
+
+
+class TestFolded:
+    def test_top_frame_set_includes_carat_guard(self, traced):
+        for weight in ("hits", "cycles"):
+            text = to_folded(traced.snapshot(), weight=weight)
+            lines = text.splitlines()
+            assert lines
+            for line in lines:
+                stack, count = line.rsplit(" ", 1)
+                frames = stack.split(";")
+                assert frames[0] == "caratkop"
+                assert frames[-1] == "carat_guard"
+                assert int(count) >= 1
+
+    def test_cycles_weighting_dominates_hits(self, traced):
+        events = traced.snapshot()
+        hits = sum(int(l.rsplit(" ", 1)[1])
+                   for l in to_folded(events, "hits").splitlines())
+        cycles = sum(int(l.rsplit(" ", 1)[1])
+                     for l in to_folded(events, "cycles").splitlines())
+        assert hits == sum(1 for e in events if e.name == "guard:check")
+        assert cycles > hits  # every guard costs > 1 cycle
+
+    def test_stacks_carry_calling_function(self, traced):
+        text = to_folded(traced.snapshot())
+        assert "e1000e_xmit" in text or "tx_ring_space" in text
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            to_folded([], weight="samples")
+
+
+class TestSchemaCatalog:
+    def test_every_event_described(self):
+        text = describe_schema()
+        for name in EVENT_SCHEMA:
+            assert name in text
+
+    def test_schema_shape(self):
+        for name, (category, fields) in EVENT_SCHEMA.items():
+            assert name.startswith(category + ":")
+            assert isinstance(fields, tuple)

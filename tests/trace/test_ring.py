@@ -1,0 +1,135 @@
+"""Ring-buffer edge cases: overflow in both modes, lost accounting,
+snapshot detachment — plus the aggregation primitives."""
+
+import pytest
+
+from repro.trace import CounterSet, GuardSiteStats, Log2Histogram, RingBuffer
+from repro.trace.events import TraceEvent
+
+
+def ev(i):
+    return TraceEvent(i, float(i), "test:event", {"i": i}, None)
+
+
+class TestOverwriteMode:
+    def test_overflow_evicts_oldest(self):
+        ring = RingBuffer(capacity=4, mode="overwrite")
+        for i in range(10):
+            assert ring.push(ev(i)) is True  # overwrite never refuses
+        assert len(ring) == 4
+        assert [e.args["i"] for e in ring.snapshot()] == [6, 7, 8, 9]
+
+    def test_lost_and_total_accounting(self):
+        ring = RingBuffer(capacity=4, mode="overwrite")
+        for i in range(10):
+            ring.push(ev(i))
+        assert ring.total == 10
+        assert ring.lost == 6
+        assert ring.stats() == {
+            "capacity": 4, "mode": "overwrite",
+            "stored": 4, "lost": 6, "total": 10,
+        }
+
+    def test_wraparound_keeps_order(self):
+        ring = RingBuffer(capacity=3, mode="overwrite")
+        for i in range(7):  # wraps more than twice
+            ring.push(ev(i))
+        snap = ring.snapshot()
+        assert [e.args["i"] for e in snap] == sorted(e.args["i"] for e in snap)
+
+
+class TestDropMode:
+    def test_overflow_discards_newest(self):
+        ring = RingBuffer(capacity=4, mode="drop")
+        results = [ring.push(ev(i)) for i in range(10)]
+        assert results == [True] * 4 + [False] * 6
+        assert [e.args["i"] for e in ring.snapshot()] == [0, 1, 2, 3]
+
+    def test_lost_and_total_accounting(self):
+        ring = RingBuffer(capacity=4, mode="drop")
+        for i in range(10):
+            ring.push(ev(i))
+        assert ring.total == 10
+        assert ring.lost == 6
+        assert len(ring) == 4
+
+
+class TestRingLifecycle:
+    def test_snapshot_is_detached(self):
+        ring = RingBuffer(capacity=8)
+        for i in range(3):
+            ring.push(ev(i))
+        snap = ring.snapshot()
+        ring.push(ev(99))
+        assert len(snap) == 3  # later pushes never appear
+        ring.reset()
+        assert [e.args["i"] for e in snap] == [0, 1, 2]  # reset can't clear it
+
+    def test_reset_clears_everything(self):
+        ring = RingBuffer(capacity=2)
+        for i in range(5):
+            ring.push(ev(i))
+        ring.reset()
+        assert len(ring) == 0
+        assert ring.lost == 0
+        assert ring.total == 0
+        assert ring.snapshot() == []
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=0)
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=-1)
+        with pytest.raises(ValueError):
+            RingBuffer(capacity=8, mode="ringbuffer")
+
+    def test_capacity_one(self):
+        ring = RingBuffer(capacity=1, mode="overwrite")
+        for i in range(3):
+            ring.push(ev(i))
+        assert [e.args["i"] for e in ring.snapshot()] == [2]
+        assert ring.lost == 2
+
+
+class TestAggregates:
+    def test_counters(self):
+        c = CounterSet()
+        c.incr("a")
+        c.incr("a")
+        c.incr("b", 3)
+        assert c.get("a") == 2
+        assert c.get("missing") == 0
+        assert c.as_dict() == {"a": 2, "b": 3}
+        c.reset()
+        assert len(c) == 0
+
+    def test_log2_histogram_buckets(self):
+        h = Log2Histogram("cycles")
+        for v in (0, 1, 2, 3, 4, 7, 8, 1024):
+            h.record(v)
+        # bucket = int(v).bit_length(): 0->0, 1->1, [2,3]->2, [4,7]->3, ...
+        assert h.buckets[0] == 1
+        assert h.buckets[1] == 1
+        assert h.buckets[2] == 2
+        assert h.buckets[3] == 2
+        assert h.buckets[4] == 1
+        assert h.buckets[11] == 1
+        assert h.count == 8
+        assert h.total == 1049
+        assert "@" in h.render()
+        h.reset()
+        assert h.count == 0 and not h.buckets
+
+    def test_guard_site_stats(self):
+        s = GuardSiteStats()
+        s.record("m:@f:g0", 2, 10.0)
+        s.record("m:@f:g0", 2, 10.0)
+        s.record("m:@f:g1", 1, 5.0)
+        assert len(s) == 2
+        assert s.total_cycles() == 25.0
+        top = s.top(1)
+        assert top[0]["site"] == "m:@f:g0"
+        assert top[0]["hits"] == 2
+        assert top[0]["cycles"] == 20.0
+        assert top[0]["share"] == pytest.approx(0.8)
+        assert set(s.as_dict()) == {"m:@f:g0", "m:@f:g1"}
