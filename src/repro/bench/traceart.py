@@ -100,8 +100,8 @@ def emit_trace_artifact(
         "figure": fid,
         "packets_sent": result.packets_sent,
         "throughput_pps": result.throughput_pps,
-        "events": trace.ring.total,
-        "events_lost": trace.ring.lost,
+        "events": trace.ring_stats()["total"],
+        "events_lost": trace.ring_stats()["lost"],
         "guard_checks": trace.guard_hist.count,
         "guard_cycles": trace.guard_hist.total,
         "top_sites": [s["site"] for s in trace.guard_sites.top(3)],

@@ -142,13 +142,55 @@ def pktblast_main(argv: list[str] | None = None) -> int:
         choices=["audit", "panic", "eject", "isolate"],
         help="what a guard denial does (default: panic, the paper behaviour)",
     )
+    ap.add_argument(
+        "--cpus", type=int, default=1,
+        help="simulated CPUs (cooperative model; 1 = historic behaviour)",
+    )
+    ap.add_argument(
+        "--smp-seed", type=int, default=0,
+        help="round-robin scheduler seed (0 = unsharded global order)",
+    )
+    ap.add_argument(
+        "--workers", type=int, default=0,
+        help="partition the blast across N OS processes (real parallelism)",
+    )
     args = ap.parse_args(argv)
+
+    if args.workers > 1:
+        from .net.pool import pool_blast
+
+        pool = pool_blast(
+            args.workers,
+            size=args.size,
+            count=args.count,
+            config_kwargs=dict(
+                machine=args.machine, protect=not args.baseline,
+                regions=args.regions, engine=args.engine,
+                enforce_mode=args.enforce_mode,
+                cpus=args.cpus, smp_seed=args.smp_seed,
+            ),
+        )
+        technique = "baseline" if args.baseline else "carat"
+        print(
+            f"{technique}: {pool.packets_sent}/{pool.packets_requested} "
+            f"packets across {pool.workers} workers, "
+            f"{pool.wall_pps:,.0f} wall pps "
+            f"(slowest worker {pool.wall_elapsed_s:.3f}s), "
+            f"{pool.errors} errors, {pool.stalls} stalls"
+        )
+        stats = pool.guard_stats
+        print(
+            f"guards (merged): {stats['checks']:,} checks, "
+            f"{stats['denied']} denied"
+        )
+        return 0
 
     system = CaratKopSystem(
         SystemConfig(
             machine=args.machine, protect=not args.baseline,
             regions=args.regions, engine=args.engine,
             enforce_mode=args.enforce_mode,
+            cpus=args.cpus, smp_seed=args.smp_seed,
         )
     )
     profiler = None
@@ -398,9 +440,10 @@ def trace_main(argv: list[str] | None = None) -> int:
     result = system.blast(size=args.size, count=args.count)
     trace.disable()
     events = trace.snapshot()
+    ring = trace.ring_stats()
     print(
         f"{system.technique}: {result.packets_sent} packets, "
-        f"{trace.ring.total} events ({trace.ring.lost} lost), "
+        f"{ring['total']} events ({ring['lost']} lost), "
         f"{trace.guard_hist.count} guard checks over "
         f"{len(trace.guard_sites)} sites"
     )

@@ -47,6 +47,13 @@ class SystemConfig:
     #: Execution engine: "compiled" (translate-once closures, default) or
     #: "interp" (the reference tree-walking interpreter).
     engine: str = "compiled"
+    #: Simulated CPUs (cooperative round-robin model).  1 is bit-exact
+    #: with the historic single-CPU behaviour; N shards pktblast and the
+    #: per-CPU subsystems (stats, guard caches, trace rings) across N.
+    cpus: int = 1
+    #: Rotates the round-robin scheduler's starting CPU (determinism
+    #: experiments; 0 reproduces the unsharded global order exactly).
+    smp_seed: int = 0
 
 
 class CaratKopSystem:
@@ -69,6 +76,8 @@ class CaratKopSystem:
             signing_key=self.signing_key if cfg.strict_kernel else None,
             require_protected_modules=cfg.strict_kernel and cfg.protect,
             engine=cfg.engine,
+            ncpus=cfg.cpus,
+            smp_seed=cfg.smp_seed,
         )
         index = cfg.policy_index if cfg.policy_index is not None else RegionTable()
         self.policy = CaratPolicyModule(
@@ -116,7 +125,17 @@ class CaratKopSystem:
         return self.blaster.blast(size, count, capture_latency)
 
     def guard_stats(self) -> dict[str, int]:
-        return self.policy.stats.as_dict()
+        stats = self.policy.stats.as_dict()
+        # This system's traffic against the process-global translation
+        # code cache (0 under the interpreter, which never translates).
+        # Cache warmth depends on what ran earlier in the process, so
+        # cross-system comparisons strip the ``translation_`` keys.
+        vm = self.kernel.vm
+        stats["translation_cache_hits"] = getattr(
+            vm, "translation_cache_hits", 0)
+        stats["translation_cache_misses"] = getattr(
+            vm, "translation_cache_misses", 0)
+        return stats
 
     def reload_driver(self) -> LoadedModule:
         """Re-insert the e1000e driver after an eject and rebuild the

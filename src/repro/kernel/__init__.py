@@ -8,6 +8,7 @@ from .kernel import Kernel
 from .memory import KernelAddressSpace, MMIODevice, PhysicalMemory
 from .module_loader import CompiledModule, LoadError, LoadedModule, ModuleLoader
 from .panic import KernelPanic, MemoryFault, ViolationFault
+from .smp import PerCpu, RcuDomain, RcuError, SmpTopology
 from .symbols import Symbol, SymbolTable
 
 __all__ = [
@@ -25,7 +26,11 @@ __all__ = [
     "ModuleCharDevice",
     "ModuleLoader",
     "PageAllocator",
+    "PerCpu",
     "PhysicalMemory",
+    "RcuDomain",
+    "RcuError",
+    "SmpTopology",
     "Symbol",
     "SymbolTable",
     "TransactionJournal",

@@ -44,6 +44,8 @@ class Kernel:
         signing_key: Optional[SigningKey] = None,
         require_protected_modules: bool = False,
         engine: str = "compiled",
+        ncpus: int = 1,
+        smp_seed: int = 0,
     ):
         self.ram = PhysicalMemory(ram_size)
         self.address_space = KernelAddressSpace(self.ram)
@@ -52,6 +54,13 @@ class Kernel:
         self.symbols = SymbolTable()
         self.devices = DeviceRegistry()
         self.journal = TransactionJournal()
+        # SMP topology and RCU come up first: the trace subsystem sizes
+        # its per-CPU rings off the topology, and the policy module's
+        # region-table replicas use the RCU domain.
+        from .smp import RcuDomain, SmpTopology
+
+        self.smp = SmpTopology(ncpus, seed=smp_seed)
+        self.rcu = RcuDomain(self.smp)
         # The trace subsystem comes up before the traced subsystems so
         # they can bind their tracepoints at construction time.
         from ..trace import TraceSubsystem

@@ -97,6 +97,20 @@ class ProcFS:
             f"intrinsic_checks: {s.intrinsic_checks}",
             f"intrinsic_denied: {s.intrinsic_denied}",
         ]
+        # Per-CPU breakdown of the merged counters above (the totals are
+        # sums over these rows); single-CPU output stays byte-identical.
+        per_cpu = getattr(policy, "stats_per_cpu", None)
+        if per_cpu is not None:
+            rows = per_cpu()
+            if len(rows) > 1:
+                for cpu, row in enumerate(rows):
+                    lines.append(
+                        f"cpu{cpu}: checks={row['checks']} "
+                        f"allowed={row['allowed']} denied={row['denied']} "
+                        f"entries_scanned={row['entries_scanned']} "
+                        f"cache_hits={row['guard_cache_hits']} "
+                        f"cache_misses={row['guard_cache_misses']}"
+                    )
         calls = getattr(policy, "allowed_calls", None)
         lines.append(
             "call_policy: allow-all" if calls is None

@@ -10,6 +10,7 @@ from .frame import (
     EthernetFrame,
     make_test_frame,
 )
+from .pool import PoolResult, partition, pool_blast
 from .sink import PacketSink
 from .syscalls import RawPacketSocket, SendResult
 
@@ -23,7 +24,10 @@ __all__ = [
     "EthernetFrame",
     "PacketBlaster",
     "PacketSink",
+    "PoolResult",
     "RawPacketSocket",
     "SendResult",
     "make_test_frame",
+    "partition",
+    "pool_blast",
 ]

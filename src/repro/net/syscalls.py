@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover
 EBUSY = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class SendResult:
     rc: int
     latency_cycles: float

@@ -23,7 +23,7 @@ from .structures import (
     SplayRegionIndex,
     make_index,
 )
-from .table import MAX_REGIONS, PolicyTableFull, RegionTable
+from .table import MAX_REGIONS, PolicyTableFull, RegionTable, RegionTableReplica
 
 __all__ = [
     "AMQFilterIndex",
@@ -47,6 +47,7 @@ __all__ = [
     "PolicyTableFull",
     "Region",
     "RegionTable",
+    "RegionTableReplica",
     "STRUCTURES",
     "SortedRegionIndex",
     "SplayRegionIndex",

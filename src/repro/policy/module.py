@@ -25,6 +25,7 @@ from .. import abi
 from ..kernel.chardev import EINVAL, ENOSPC, ENOTTY, EPERM, IoctlError
 from ..kernel.kernel import Kernel
 from ..kernel.panic import ViolationFault
+from ..kernel.smp import PerCpu
 from ..vm.interp import GuardViolation
 from .region import Region
 from .table import PolicyTableFull, RegionTable
@@ -156,7 +157,10 @@ class CaratPolicyModule:
         #: Bumped on any mode change; part of the guard cache's validity
         #: token, so stale decisions never outlive an enforcement switch.
         self._enforce_epoch = 0
-        self.stats = PolicyStats()
+        ncpus = kernel.smp.ncpus
+        #: Per-CPU counters (DEFINE_PER_CPU style): each simulated CPU
+        #: bumps only its own slot; :attr:`stats` merges on read.
+        self._cpu_stats: PerCpu = PerCpu(ncpus, lambda cpu: PolicyStats())
         self.allowed_intrinsics: set[str] = set()
         #: Kernel symbols a module may call (paper §5 control-flow
         #: extension).  ``None`` = allow-all (the default, like stock
@@ -166,18 +170,46 @@ class CaratPolicyModule:
         #: could be consulted" per module).  A module with an entry here
         #: is checked against ITS table; others use the global index.
         self.module_indexes: dict[str, object] = {}
-        #: Guard-decision caches, one per pure-check index, keyed by
-        #: ``id(index)`` (each cache holds a strong ref to its index, so
-        #: ids cannot be reused while an entry is live; identity is
-        #: re-verified on lookup anyway).
-        self._guard_caches: dict[int, _GuardCache] = {}
-        # One-entry binding memo for the hot path: the last index checked
-        # and its cache (None for impure indexes).  Re-resolved whenever a
-        # guard sees a different index object.
-        self._fast_index = None
-        self._fast_cache: Optional[_GuardCache] = None
+        #: Guard-decision caches, per CPU and per pure-check index, keyed
+        #: by ``id(index)`` (each cache holds a strong ref to its index,
+        #: so ids cannot be reused while an entry is live; identity is
+        #: re-verified on lookup anyway).  Per-CPU so the hot path never
+        #: shares a dict between CPUs — the PR 2 epoch cache, sharded.
+        self._guard_caches: PerCpu = PerCpu(ncpus, lambda cpu: {})
+        # One-entry binding memo for the hot path, one per CPU: the last
+        # index checked on that CPU and its cache (None for impure
+        # indexes).  Re-resolved whenever a guard sees a different index.
+        self._fast_index: PerCpu = PerCpu(ncpus, lambda cpu: None)
+        self._fast_cache: PerCpu = PerCpu(ncpus, lambda cpu: None)
+        #: RCU-published per-CPU ``(master, replica)`` slots for the
+        #: global region table.  The guard reads its CPU's replica
+        #: lock-free; ioctl mutations publish a fresh snapshot and wait a
+        #: grace period before the old one is reclaimed.
+        self._replicas: PerCpu = PerCpu(ncpus, lambda cpu: None)
+        self.replica_publishes = 0
+        #: Lazy CPU-local rebuilds (master mutated without an RCU
+        #: publish — e.g. a test poking ``policy.index`` directly).
+        self.replica_refreshes = 0
         self._installed = False
         self._tp_deny = kernel.trace.points["guard:deny"]
+
+    @property
+    def stats(self) -> PolicyStats:
+        """Merged counters across CPUs (the CPU-0 object itself on
+        single-CPU kernels, so exact-count tests see the same object
+        semantics as before the per-CPU split)."""
+        cpu_stats = self._cpu_stats
+        if len(cpu_stats) == 1:
+            return cpu_stats[0]
+        merged = PolicyStats()
+        for s in cpu_stats:
+            for field in PolicyStats.__slots__:
+                setattr(merged, field, getattr(merged, field) + getattr(s, field))
+        return merged
+
+    def stats_per_cpu(self) -> list[dict[str, int]]:
+        """Per-CPU counter breakdown (the /proc/carat per-CPU view)."""
+        return [s.as_dict() for s in self._cpu_stats]
 
     def _record_violation(self, module_name: str, *, kind: str,
                           addr: int = 0, size: int = 0, flags: int = 0,
@@ -288,19 +320,63 @@ class CaratPolicyModule:
 
     # -- the guard (hot path) -------------------------------------------------
 
-    def _bind_cache(self, index) -> Optional[_GuardCache]:
-        """Resolve the decision cache for ``index`` (``None`` if the
-        index is impure) and memoize the binding for the next guard."""
+    def _bind_cache(self, index, cpu: int) -> Optional[_GuardCache]:
+        """Resolve ``cpu``'s decision cache for ``index`` (``None`` if
+        the index is impure) and memoize the binding for the next guard."""
         if getattr(index, "pure_check", False):
-            cache = self._guard_caches.get(id(index))
+            caches = self._guard_caches[cpu]
+            cache = caches.get(id(index))
             if cache is None or cache.index is not index:
                 cache = _GuardCache(index, self._enforce_epoch)
-                self._guard_caches[id(index)] = cache
+                caches[id(index)] = cache
         else:
             cache = None
-        self._fast_index = index
-        self._fast_cache = cache
+        self._fast_index[cpu] = index
+        self._fast_cache[cpu] = cache
         return cache
+
+    def _publish_replicas(self) -> None:
+        """Write-side RCU discipline for region-table mutations: build a
+        fresh immutable snapshot, publish it to every CPU, and reclaim
+        the superseded replicas only after a full grace period (no
+        reader can still hold them).  No-op for non-table indexes."""
+        index = self.index
+        if not isinstance(index, RegionTable):
+            return
+        retired = [slot for slot in self._replicas if slot is not None]
+        for cpu in self.kernel.smp.cpus():
+            self._replicas[cpu] = (index, index.snapshot())
+        self.replica_publishes += 1
+        rcu = self.kernel.rcu
+        if retired:
+            rcu.call_rcu(retired.clear)
+        rcu.synchronize()
+
+    def _replica_check(self, index, cpu: int, addr: int, size: int,
+                       flags: int):
+        """Check against ``cpu``'s RCU replica when one applies.
+
+        Only the global region table is replicated; per-module tables
+        and non-table indexes go straight to the master.  A replica
+        whose ``(master, epoch, default_allow)`` token mismatches the
+        live master (someone mutated it without the ioctl write path)
+        is rebuilt CPU-locally first.  Replica scans are byte-identical
+        to master scans, so every simulated counter is unchanged."""
+        if index is not self.index or not isinstance(index, RegionTable):
+            return index.check(addr, size, flags)
+        rcu = self.kernel.rcu
+        rcu.read_lock(cpu)
+        try:
+            slot = self._replicas[cpu]
+            if (slot is None or slot[0] is not index
+                    or slot[1].epoch != index.epoch
+                    or slot[1].default_allow != index.default_allow):
+                slot = (index, index.snapshot())
+                self._replicas[cpu] = slot
+                self.replica_refreshes += 1
+            return slot[1].check(addr, size, flags)
+        finally:
+            rcu.read_unlock(cpu)
 
     def _guard(self, ctx, addr: int, size: int, flags: int,
                module_name: str = "?") -> int:
@@ -309,11 +385,12 @@ class CaratPolicyModule:
             self.module_indexes.get(module_name, self.index)
             if self.module_indexes else self.index
         )
-        stats = self.stats
-        if index is self._fast_index:
-            cache = self._fast_cache
+        cpu = self.kernel.smp.current
+        stats = self._cpu_stats[cpu]
+        if index is self._fast_index[cpu]:
+            cache = self._fast_cache[cpu]
         else:
-            cache = self._bind_cache(index)
+            cache = self._bind_cache(index, cpu)
         if cache is not None:
             if (cache.epoch != index.epoch
                     or cache.default_allow != index.default_allow
@@ -329,12 +406,16 @@ class CaratPolicyModule:
                 allowed, scanned = decision
             else:
                 stats.guard_cache_misses += 1
-                allowed, scanned = index.check(addr, size, flags)
+                allowed, scanned = self._replica_check(
+                    index, cpu, addr, size, flags
+                )
                 if len(cache.decisions) >= cache.MAX_ENTRIES:
                     cache.decisions.clear()
                 cache.decisions[key] = (allowed, scanned)
         else:
-            allowed, scanned = index.check(addr, size, flags)
+            allowed, scanned = self._replica_check(
+                index, cpu, addr, size, flags
+            )
         stats.checks += 1
         stats.entries_scanned += scanned
         if allowed:
@@ -366,10 +447,11 @@ class CaratPolicyModule:
             if ctx is not None and ctx.current_module is not None
             else "?"
         )
-        self.stats.intrinsic_checks += 1
+        stats = self._cpu_stats[self.kernel.smp.current]
+        stats.intrinsic_checks += 1
         if name in self.allowed_intrinsics:
             return 1
-        self.stats.intrinsic_denied += 1
+        stats.intrinsic_denied += 1
         self._record_violation(
             module_name, kind="intrinsic", flags=abi.FLAG_INTRINSIC,
             detail=name,
@@ -442,17 +524,22 @@ class CaratPolicyModule:
                 f"{MODULE_NAME}: region {idx} added "
                 f"{Region(base, length, prot).describe()}"
             )
+            self._publish_replicas()
             return struct.pack("<I", idx)
         if cmd == CMD_DEL_REGION:
             base, length = self._unpack("<QQ", arg)
             ok = self.index.remove(base, length)
+            if ok:
+                self._publish_replicas()
             return struct.pack("<I", int(ok))
         if cmd == CMD_CLEAR:
             self.index.clear()
+            self._publish_replicas()
             return b""
         if cmd == CMD_SET_DEFAULT:
             (flag,) = self._unpack("<I", arg)
             self.index.default_allow = bool(flag)
+            self._publish_replicas()
             return b""
         if cmd == CMD_SET_ENFORCE:
             (flag,) = self._unpack("<I", arg)
@@ -555,9 +642,9 @@ class CaratPolicyModule:
             self.kernel.trace.disable()
             return b""
         if cmd == CMD_TRACE_SNAPSHOT:
-            ring = self.kernel.trace.ring
+            ring = self.kernel.trace.ring_stats()
             return struct.pack(
-                _TRACE_STAT_FMT, len(ring), ring.lost, ring.total
+                _TRACE_STAT_FMT, ring["stored"], ring["lost"], ring["total"]
             )
         if cmd == CMD_TRACE_RESET:
             self.kernel.trace.reset()

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from .. import abi
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Region:
     """One policy entry."""
 

@@ -26,6 +26,45 @@ class PolicyTableFull(ValueError):
     """More than :data:`MAX_REGIONS` regions requested."""
 
 
+class RegionTableReplica:
+    """An immutable point-in-time copy of a :class:`RegionTable`.
+
+    This is what the policy module publishes per-CPU under RCU: readers
+    walk their CPU-local replica lock-free while writers mutate the
+    master and publish a fresh snapshot behind a grace period.
+    ``check`` is byte-for-byte the master's scan — same first-match
+    semantics, same ``(allowed, scanned)`` counts — so replicated reads
+    are indistinguishable from master reads in every simulated counter.
+
+    ``(epoch, default_allow)`` is the staleness token: it matches the
+    master's values at snapshot time, and a reader comparing it against
+    the live master can tell whether the replica is current.
+    """
+
+    name = "linear-table-replica"
+    pure_check = True
+
+    __slots__ = ("default_allow", "epoch", "_regions")
+
+    def __init__(self, regions: tuple, default_allow: bool, epoch: int):
+        self._regions = regions
+        self.default_allow = default_allow
+        self.epoch = epoch
+
+    def check(self, addr: int, size: int, flags: int) -> Decision:
+        regions = self._regions
+        for i, r in enumerate(regions):
+            if r.base <= addr and addr + size <= r.base + r.length:
+                return (r.prot & flags) == flags, i + 1
+        return self.default_allow, len(regions)
+
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+
 class RegionTable:
     """Linear-scan region table; first fully-covering region wins."""
 
@@ -84,6 +123,12 @@ class RegionTable:
                 return r
         return None
 
+    def snapshot(self) -> RegionTableReplica:
+        """An immutable replica of the current table (for RCU publish)."""
+        return RegionTableReplica(
+            tuple(self._regions), self.default_allow, self.epoch
+        )
+
     def regions(self) -> list[Region]:
         return list(self._regions)
 
@@ -99,4 +144,4 @@ class RegionTable:
         return "\n".join(lines)
 
 
-__all__ = ["MAX_REGIONS", "PolicyTableFull", "RegionTable"]
+__all__ = ["MAX_REGIONS", "PolicyTableFull", "RegionTable", "RegionTableReplica"]

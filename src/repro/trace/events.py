@@ -20,19 +20,23 @@ class TraceEvent:
     counter scaled by the machine frequency, or the logical clock on
     untimed runs).  ``stack`` is the VM function-name stack at emission
     time for events recorded through the VM tracer (guard checks), else
-    ``None``.  Events are immutable once recorded: ring-buffer snapshots
-    stay consistent however much tracing continues afterwards.
+    ``None``.  ``cpu`` is the simulated CPU the event was recorded on
+    (always 0 on single-CPU kernels); the merged multi-ring snapshot is
+    ordered by ``seq``, which is global across CPUs.  Events are
+    immutable once recorded: ring-buffer snapshots stay consistent
+    however much tracing continues afterwards.
     """
 
-    __slots__ = ("seq", "ts_us", "name", "args", "stack")
+    __slots__ = ("seq", "ts_us", "name", "args", "stack", "cpu")
 
     def __init__(self, seq: int, ts_us: float, name: str, args: dict,
-                 stack: Optional[tuple] = None):
+                 stack: Optional[tuple] = None, cpu: int = 0):
         self.seq = seq
         self.ts_us = ts_us
         self.name = name
         self.args = args
         self.stack = stack
+        self.cpu = cpu
 
     @property
     def category(self) -> str:

@@ -42,7 +42,15 @@ class TraceSubsystem:
                  mode: str = "overwrite"):
         self.kernel = kernel
         self.enabled = False
-        self.ring = RingBuffer(capacity, mode)
+        # One ring per simulated CPU (ftrace's per_cpu/cpuN/trace): an
+        # event lands in the ring of the CPU it was recorded on, so CPUs
+        # never contend on a shared buffer.  Single-CPU kernels keep the
+        # historic shape: ``self.ring`` is CPU 0's ring.
+        ncpus = getattr(kernel, "smp", None)
+        self._ncpus = ncpus.ncpus if ncpus is not None else 1
+        self.rings: list[RingBuffer] = [
+            RingBuffer(capacity, mode) for _ in range(self._ncpus)
+        ]
         self.counters = CounterSet()
         self.guard_hist = Log2Histogram("guard cycles")
         self.guard_sites = GuardSiteStats()
@@ -78,13 +86,23 @@ class TraceSubsystem:
 
     # -- the event sink -------------------------------------------------------------
 
+    @property
+    def ring(self) -> RingBuffer:
+        """CPU 0's ring — the whole story on single-CPU kernels.  Code
+        that must see every CPU uses :meth:`rings`, :meth:`snapshot`, or
+        :meth:`ring_stats` (the merged view)."""
+        return self.rings[0]
+
     def record(self, name: str, args: dict,
                stack: Optional[tuple] = None) -> None:
-        """Append one event (tracepoints land here when enabled)."""
-        event = TraceEvent(self._seq, self.kernel.time_us(), name, args, stack)
+        """Append one event to the recording CPU's ring."""
+        cpu = self.kernel.smp.current
+        event = TraceEvent(
+            self._seq, self.kernel.time_us(), name, args, stack, cpu
+        )
         self._seq += 1
         self.counters.incr(name)
-        self.ring.push(event)
+        self.rings[cpu].push(event)
 
     # -- control --------------------------------------------------------------------
 
@@ -114,28 +132,48 @@ class TraceSubsystem:
 
     def configure(self, capacity: Optional[int] = None,
                   mode: Optional[str] = None) -> None:
-        """Rebuild the ring with a new capacity and/or overflow mode."""
-        self.ring = RingBuffer(
-            capacity if capacity is not None else self.ring.capacity,
-            mode if mode is not None else self.ring.mode,
-        )
+        """Rebuild every per-CPU ring with a new capacity and/or mode."""
+        capacity = capacity if capacity is not None else self.rings[0].capacity
+        mode = mode if mode is not None else self.rings[0].mode
+        self.rings = [
+            RingBuffer(capacity, mode) for _ in range(self._ncpus)
+        ]
 
     def snapshot(self) -> list:
-        """A detached, consistent copy of the ring (safe while enabled)."""
-        return self.ring.snapshot()
+        """A detached, consistent copy of every CPU's ring, merged in
+        global event order (``seq`` is kernel-wide, so the merge is
+        total and deterministic).  Safe while enabled."""
+        if self._ncpus == 1:
+            return self.rings[0].snapshot()
+        events: list = []
+        for ring in self.rings:
+            events.extend(ring.snapshot())
+        events.sort(key=lambda e: e.seq)
+        return events
 
     def reset(self) -> None:
-        """Clear the ring and every aggregate; sequence restarts at 0."""
-        self.ring.reset()
+        """Clear every ring and aggregate; sequence restarts at 0."""
+        for ring in self.rings:
+            ring.reset()
         self.counters.reset()
         self.guard_hist.reset()
         self.guard_sites.reset()
         self._seq = 0
 
+    def ring_stats(self) -> dict[str, object]:
+        """Merged ring accounting across CPUs (plus the shared config)."""
+        return {
+            "capacity": self.rings[0].capacity,
+            "mode": self.rings[0].mode,
+            "stored": sum(len(r) for r in self.rings),
+            "lost": sum(r.lost for r in self.rings),
+            "total": sum(r.total for r in self.rings),
+        }
+
     def stats(self) -> dict[str, object]:
         return {
             "enabled": self.enabled,
-            "ring": self.ring.stats(),
+            "ring": self.ring_stats(),
             "events": self.counters.as_dict(),
             "guard_checks": self.guard_hist.count,
             "guard_cycles": self.guard_hist.total,
@@ -153,11 +191,12 @@ class TraceSubsystem:
         """The ``/proc/trace`` view: a perf-script dump of the ring."""
         from .exporters import to_perf_script
 
+        merged = self.ring_stats()
         header = (
             f"# tracer: caratkop  enabled={int(self.enabled)}  "
-            f"entries={len(self.ring)}  lost={self.ring.lost}\n"
+            f"entries={merged['stored']}  lost={merged['lost']}\n"
         )
-        return header + to_perf_script(self.ring.snapshot())
+        return header + to_perf_script(self.snapshot())
 
     def render_stat(self) -> str:
         """The ``/proc/trace_stat`` view: counters, histogram, hot sites."""
@@ -166,8 +205,15 @@ class TraceSubsystem:
             "",
             "[ring]",
         ]
-        for key, value in self.ring.stats().items():
+        for key, value in self.ring_stats().items():
             lines.append(f"{key:<10} {value}")
+        if self._ncpus > 1:
+            for cpu, ring in enumerate(self.rings):
+                st = ring.stats()
+                lines.append(
+                    f"cpu{cpu:<7} stored={st['stored']} lost={st['lost']} "
+                    f"total={st['total']}"
+                )
         lines += ["", "[events]"]
         counters = self.counters.render()
         lines.append(counters if counters else "(none)")

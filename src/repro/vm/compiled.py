@@ -35,6 +35,20 @@ instance, then by function) and invalidated when the module IR's
 (profiler and tracer presence is specialized into the closures — a
 disabled tracer therefore costs literally nothing in generated code,
 the compiled-engine analog of a patched-out static key).
+
+Below both of those sits a **process-global code cache**
+(:data:`TRANSLATION_CACHE`): the ``compile()`` of the generated source
+is shared across engines and :class:`~repro.core.system.CaratKopSystem`
+instances.  The generated source is itself a faithful content hash of
+everything the bytecode depends on — the instruction stream, resolved
+global addresses, per-opcode machine costs, and profiler presence are
+all emitted as source literals, while everything engine-specific
+(per-site closures, hoisted constants, the engine/timing/profiler
+references) is bound into a fresh namespace at ``exec`` time — so two
+translations with identical source can always share one code object.
+The second system in a process (a fleet of benchmark trials, a process
+pool worker warm-up, repeated test fixtures) skips every ``compile()``
+call the first one paid for.
 """
 
 from __future__ import annotations
@@ -77,6 +91,58 @@ from .interp import Interpreter, InterpreterError
 
 _MASK64 = (1 << 64) - 1
 _F32 = struct.Struct("<f")
+
+
+class _SharedCodeCache:
+    """Process-global memo of compiled ``code`` objects.
+
+    Keyed by ``(filename, source)``.  The source embeds every input the
+    bytecode depends on (module content, IR-generation-visible edits,
+    load addresses, machine cost model, profiler charge lines), and the
+    variant state it does *not* embed — per-site closures, hoisted
+    constants, engine references — is rebound into a fresh namespace on
+    every ``exec``, so a key hit is always safe to rehydrate against a
+    different engine, tracer, or system instance."""
+
+    __slots__ = ("codes", "hits", "misses")
+
+    def __init__(self):
+        self.codes: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, filename: str, src: str):
+        """Return ``(code, was_hit)`` for the generated source."""
+        key = (filename, src)
+        code = self.codes.get(key)
+        if code is not None:
+            self.hits += 1
+            return code, True
+        self.misses += 1
+        code = compile(src, filename, "exec")
+        self.codes[key] = code
+        return code, False
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.codes),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> None:
+        self.codes.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The process-global translation code cache (see module docstring).
+TRANSLATION_CACHE = _SharedCodeCache()
+
+
+def translation_cache_stats() -> dict:
+    """Snapshot of the process-global code cache counters."""
+    return TRANSLATION_CACHE.stats()
 
 
 class _CompiledBlock:
@@ -132,6 +198,11 @@ class CompiledEngine(Interpreter):
         # re-insmod (new addresses, same IR) and invalidate_translations
         # (generation bump) both force re-translation.
         self._tcache: dict = {}
+        # This engine's traffic against the process-global code cache
+        # (the cache's own counters aggregate every engine in the
+        # process; these attribute the hits to one system).
+        self.translation_cache_hits = 0
+        self.translation_cache_misses = 0
 
     def _exec_function(self, module: LoadedModule, fn, args: list):
         # The declaration check lives in the translator (a cached
@@ -284,9 +355,13 @@ class _Translator:
         for i, block in enumerate(self.fn.blocks):
             plans.append(self._translate_block(block, i, lines))
         src = "\n".join(lines)
-        code = compile(
-            src, f"<compiled {self.module.name}:@{self.fn.name}>", "exec"
+        code, hit = TRANSLATION_CACHE.fetch(
+            f"<compiled {self.module.name}:@{self.fn.name}>", src
         )
+        if hit:
+            self.engine.translation_cache_hits += 1
+        else:
+            self.engine.translation_cache_misses += 1
         exec(code, self.ns)
         blocks = [
             _CompiledBlock(plans[i], self.ns[f"_b{i}"])
@@ -1329,4 +1404,4 @@ class _Translator:
         body.append(f"E.kernel.panic({msg!r})")
 
 
-__all__ = ["CompiledEngine"]
+__all__ = ["CompiledEngine", "TRANSLATION_CACHE", "translation_cache_stats"]
