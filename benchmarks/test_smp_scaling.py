@@ -34,7 +34,10 @@ CPU_COUNTS = (1, 2, 4)
 WORKER_COUNTS = (1, 2, 4)
 POOL_ROUNDS = 3
 REQUIRED_POOL_SPEEDUP = 2.5
-_CACHE_KEYS = ("guard_cache_hits", "guard_cache_misses")
+# comparisons/structure_checks, like the hit/miss counters, track
+# per-CPU decision-cache warmth rather than simulated state.
+_CACHE_KEYS = ("guard_cache_hits", "guard_cache_misses",
+               "comparisons", "structure_checks")
 
 
 def _cooperative_digest(cpus: int) -> dict:

@@ -27,6 +27,10 @@ META_GUARDED = "carat.guarded"
 META_GUARD_COUNT = "carat.guard_count"
 META_HAS_ASM = "carat.has_inline_asm"
 META_COMPILER = "carat.compiler"
+META_OPT_LEVEL = "carat.opt_level"
+META_GUARDS_REMOVED = "carat.guards_removed"
+META_GUARDS_HOISTED = "carat.guards_hoisted"
+META_GUARDS_COALESCED = "carat.guards_coalesced"
 
 #: Identity string of our "clang 14.0.0 + CARAT KOP pass" stand-in.
 COMPILER_ID = "caratcc-0.1 (minicc + kop-guard-pass)"
@@ -69,8 +73,12 @@ __all__ = [
     "GUARD_SYMBOL",
     "META_COMPILER",
     "META_GUARDED",
+    "META_GUARDS_COALESCED",
+    "META_GUARDS_HOISTED",
+    "META_GUARDS_REMOVED",
     "META_GUARD_COUNT",
     "META_HAS_ASM",
+    "META_OPT_LEVEL",
     "flags_name",
     "guard_function_type",
     "to_signed64",

@@ -44,6 +44,12 @@ class WorkloadConfig:
     fidelity: str = "calibrated"  # "calibrated" | "interp"
     burst_model: bool = False
     optimize_guards: bool = False
+    #: Guard optimization level (None derives from optimize_guards; the
+    #: paper figures stay at the faithful -O0 default).
+    opt_level: Optional[int] = None
+    #: Policy index structure name ("linear", "interval", ...); None is
+    #: the paper's linear table.
+    policy_index: Optional[str] = None
     engine: str = "compiled"  # "compiled" | "interp" (reference engine)
 
     @property
@@ -74,6 +80,8 @@ def build_system(cfg: WorkloadConfig) -> CaratKopSystem:
             protect=cfg.protect,
             regions=cfg.regions,
             optimize_guards=cfg.optimize_guards,
+            opt_level=cfg.opt_level,
+            policy_index=cfg.policy_index,
             engine=cfg.engine,
         )
     )
@@ -229,11 +237,20 @@ class FigureResult:
 
 
 def run_fig3(trials: int = 41, seed: int = 2023,
-             fidelity: str = "calibrated") -> FigureResult:
-    """Fig. 3: throughput CDF, slow R415, 128 B packets, 2 regions."""
+             fidelity: str = "calibrated",
+             opt_level: Optional[int] = None,
+             policy_index: Optional[str] = None,
+             regions: int = 2) -> FigureResult:
+    """Fig. 3: throughput CDF, slow R415, 128 B packets, 2 regions.
+
+    ``opt_level``/``policy_index``/``regions`` re-run the same protocol
+    under the optimizing guard tier (BENCH_guard_opt); the defaults are
+    the faithful paper configuration.
+    """
     return _throughput_figure(
         "fig3", "CARAT KOP effect on packet launch throughput (R415)",
         machine="r415", trials=trials, seed=seed, fidelity=fidelity,
+        opt_level=opt_level, policy_index=policy_index, regions=regions,
     )
 
 
@@ -247,13 +264,21 @@ def run_fig4(trials: int = 41, seed: int = 2023,
 
 
 def _throughput_figure(fid: str, title: str, machine: str, trials: int,
-                       seed: int, fidelity: str) -> FigureResult:
+                       seed: int, fidelity: str,
+                       opt_level: Optional[int] = None,
+                       policy_index: Optional[str] = None,
+                       regions: int = 2) -> FigureResult:
     series = {}
-    meta: dict[str, object] = {"machine": machine, "size": 128, "regions": 2}
+    meta: dict[str, object] = {
+        "machine": machine, "size": 128, "regions": regions,
+        "opt_level": opt_level, "policy_index": policy_index,
+    }
     for protect in (False, True):
         cfg = WorkloadConfig(
             machine=machine, protect=protect, trials=trials, seed=seed,
-            fidelity=fidelity,
+            fidelity=fidelity, regions=regions,
+            opt_level=opt_level if protect else None,
+            policy_index=policy_index,
         )
         cal = calibrate(cfg) if fidelity == "calibrated" else None
         series[cfg.technique] = throughput_samples(cfg, cal)

@@ -143,6 +143,18 @@ def pktblast_main(argv: list[str] | None = None) -> int:
         help="what a guard denial does (default: panic, the paper behaviour)",
     )
     ap.add_argument(
+        "--opt-level", type=int, default=2, choices=[0, 1, 2],
+        help="guard optimization level: 0 = faithful paper build (a guard "
+             "before every load/store), 1 = eliminate+hoist, 2 = adds "
+             "range coalescing (default: 2, the production tier)",
+    )
+    ap.add_argument(
+        "--policy-index", default="interval",
+        choices=["linear", "interval"],
+        help="region-table structure: linear = the paper's O(n) scan, "
+             "interval = overlap-aware binary search (default: interval)",
+    )
+    ap.add_argument(
         "--cpus", type=int, default=1,
         help="simulated CPUs (cooperative model; 1 = historic behaviour)",
     )
@@ -168,6 +180,7 @@ def pktblast_main(argv: list[str] | None = None) -> int:
                 regions=args.regions, engine=args.engine,
                 enforce_mode=args.enforce_mode,
                 cpus=args.cpus, smp_seed=args.smp_seed,
+                opt_level=args.opt_level, policy_index=args.policy_index,
             ),
         )
         technique = "baseline" if args.baseline else "carat"
@@ -191,6 +204,7 @@ def pktblast_main(argv: list[str] | None = None) -> int:
             regions=args.regions, engine=args.engine,
             enforce_mode=args.enforce_mode,
             cpus=args.cpus, smp_seed=args.smp_seed,
+            opt_level=args.opt_level, policy_index=args.policy_index,
         )
     )
     profiler = None
@@ -309,6 +323,17 @@ def bench_main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--trials", type=int, default=41)
     ap.add_argument(
+        "--opt-level", type=int, default=2, choices=[0, 1, 2],
+        help="guard optimization level for the throughput figure (fig3); "
+             "0 --policy-index linear reproduces the faithful paper build "
+             "(default: 2, the production tier)",
+    )
+    ap.add_argument(
+        "--policy-index", default="interval",
+        choices=["linear", "interval"],
+        help="region-table structure for fig3 (default: interval)",
+    )
+    ap.add_argument(
         "--markdown", action="store_true",
         help="emit the EXPERIMENTS.md paper-vs-measured summary table",
     )
@@ -331,6 +356,13 @@ def bench_main(argv: list[str] | None = None) -> int:
             return 2
         if fid == "fig7":
             result = runner()
+        elif fid == "fig3":
+            # The throughput figure is the one the guard-optimizer tier
+            # parameterizes; the rest keep their paper configuration.
+            result = runner(
+                trials=args.trials,
+                opt_level=args.opt_level, policy_index=args.policy_index,
+            )
         else:
             result = runner(trials=args.trials)
         results[fid] = result

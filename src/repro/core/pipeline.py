@@ -47,7 +47,17 @@ class CompileOptions:
     protect: bool = True
     #: Run the CARAT CAKE-style guard optimizer (OFF in the paper; the
     #: abl2 benchmark turns it on to measure what it would recover).
+    #: Equivalent to ``opt_level=1`` and kept for backward compatibility.
     optimize_guards: bool = False
+    #: Guard optimization level: 0 = faithful paper mode (guard every
+    #: access), 1 = dominated-guard elimination + loop-invariant hoisting,
+    #: 2 = adds range coalescing.  ``None`` derives the level from
+    #: ``optimize_guards`` (True -> 1, False -> 0).
+    opt_level: Optional[int] = None
+    #: Individual transform overrides; ``None`` follows ``opt_level``.
+    eliminate_guards: Optional[bool] = None
+    hoist_guards: Optional[bool] = None
+    coalesce_guards: Optional[bool] = None
     #: Guard privileged intrinsics too (paper §5 extension).
     guard_intrinsics: bool = False
     #: Guard module->kernel calls too (paper §5 control-flow extension).
@@ -59,6 +69,30 @@ class CompileOptions:
     #: Sign the result (required by kernels provisioned with a key).
     key: Optional[SigningKey] = None
     verify_each_pass: bool = True
+
+    def resolved_opt_level(self) -> int:
+        """The effective ``-O`` level after legacy-flag fallback."""
+        if self.opt_level is not None:
+            if self.opt_level not in (0, 1, 2):
+                raise ValueError(f"opt_level must be 0, 1, or 2: {self.opt_level}")
+            return self.opt_level
+        return 1 if self.optimize_guards else 0
+
+    def guard_opt_toggles(self) -> tuple[bool, bool, bool]:
+        """``(eliminate, hoist, coalesce)`` after per-transform overrides."""
+        level = self.resolved_opt_level()
+        eliminate = (
+            self.eliminate_guards if self.eliminate_guards is not None
+            else level >= 1
+        )
+        hoist = (
+            self.hoist_guards if self.hoist_guards is not None else level >= 1
+        )
+        coalesce = (
+            self.coalesce_guards if self.coalesce_guards is not None
+            else level >= 2
+        )
+        return eliminate, hoist, coalesce
 
 
 @dataclass
@@ -72,6 +106,10 @@ class CompileStats:
     stores: int = 0
     guards: int = 0
     functions: int = 0
+    opt_level: int = 0
+    guards_removed: int = 0
+    guards_hoisted: int = 0
+    guards_coalesced: int = 0
     passes_run: list[str] = field(default_factory=list)
 
     @property
@@ -111,6 +149,8 @@ def compile_module(
     pm.run(ir)
     stats.instructions_before_guards = ir.instruction_count()
 
+    eliminate, hoist, coalesce = opts.guard_opt_toggles()
+    guard_opt: Optional[GuardOptPass] = None
     pm2 = PassManager(verify_each=opts.verify_each_pass)
     pm2.add(AttestationPass())
     if opts.protect:
@@ -121,8 +161,11 @@ def compile_module(
             from ..passes.call_guard import CallGuardPass
 
             pm2.add(CallGuardPass())
-        if opts.optimize_guards:
-            pm2.add(GuardOptPass())
+        if eliminate or hoist or coalesce:
+            guard_opt = GuardOptPass(
+                hoist_loops=hoist, eliminate=eliminate, coalesce=coalesce
+            )
+            pm2.add(guard_opt)
             pm2.add(DCEPass())  # sweep dead address casts left behind
     pm2.run(ir)
 
@@ -137,8 +180,17 @@ def compile_module(
                 stats.stores += 1
             elif isinstance(inst, Call) and inst.is_guard:
                 stats.guards += 1
+    stats.opt_level = opts.resolved_opt_level()
+    if guard_opt is not None:
+        stats.guards_removed = guard_opt.guards_removed
+        stats.guards_hoisted = guard_opt.guards_hoisted
+        stats.guards_coalesced = guard_opt.guards_coalesced
     if opts.protect:
         ir.metadata[abi.META_GUARD_COUNT] = stats.guards
+        ir.metadata[abi.META_OPT_LEVEL] = stats.opt_level
+        ir.metadata[abi.META_GUARDS_REMOVED] = stats.guards_removed
+        ir.metadata[abi.META_GUARDS_HOISTED] = stats.guards_hoisted
+        ir.metadata[abi.META_GUARDS_COALESCED] = stats.guards_coalesced
 
     signature = sign_module(ir, opts.key) if opts.key is not None else None
     compiled = CompiledModule(

@@ -30,9 +30,14 @@ class SystemConfig:
     #: Build the driver with the CARAT KOP transform ("carat") or not
     #: ("baseline") — the two curves in every figure.
     protect: bool = True
-    #: CARAT CAKE-style guard optimization (abl2 only; paper ships without).
+    #: CARAT CAKE-style guard optimization (legacy toggle == ``-O1``).
     optimize_guards: bool = False
-    #: Policy index structure (a RegionTable by default; abl1 swaps it).
+    #: Guard optimization level: 0 faithful, 1 eliminate+hoist, 2 adds
+    #: range coalescing.  ``None`` derives from ``optimize_guards``.
+    opt_level: Optional[int] = None
+    #: Policy index structure: a region-table instance, or a structure
+    #: name from ``repro.policy.structures.STRUCTURES`` ("linear",
+    #: "interval", ...).  None means the paper's linear table.
     policy_index: Optional[object] = None
     #: Number of regions for the standard policy (Figure 5 varies this).
     regions: int = 2
@@ -80,6 +85,10 @@ class CaratKopSystem:
             smp_seed=cfg.smp_seed,
         )
         index = cfg.policy_index if cfg.policy_index is not None else RegionTable()
+        if isinstance(index, str):
+            from ..policy import make_index
+
+            index = make_index(index)
         self.policy = CaratPolicyModule(
             self.kernel, index=index, enforce=cfg.enforce,
             mode=cfg.enforce_mode,
@@ -104,6 +113,7 @@ class CaratKopSystem:
                 module_name=DRIVER_NAME,
                 protect=cfg.protect,
                 optimize_guards=cfg.optimize_guards,
+                opt_level=cfg.opt_level,
                 key=self.signing_key,
             ),
         )

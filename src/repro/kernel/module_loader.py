@@ -55,6 +55,22 @@ class CompiledModule:
     def guard_count(self) -> int:
         return int(self.ir.metadata.get(abi.META_GUARD_COUNT, 0))  # type: ignore[arg-type]
 
+    @property
+    def opt_level(self) -> int:
+        return int(self.ir.metadata.get(abi.META_OPT_LEVEL, 0))  # type: ignore[arg-type]
+
+    @property
+    def guards_removed(self) -> int:
+        return int(self.ir.metadata.get(abi.META_GUARDS_REMOVED, 0))  # type: ignore[arg-type]
+
+    @property
+    def guards_hoisted(self) -> int:
+        return int(self.ir.metadata.get(abi.META_GUARDS_HOISTED, 0))  # type: ignore[arg-type]
+
+    @property
+    def guards_coalesced(self) -> int:
+        return int(self.ir.metadata.get(abi.META_GUARDS_COALESCED, 0))  # type: ignore[arg-type]
+
 
 @dataclass
 class LoadedModule:
@@ -142,9 +158,10 @@ class ModuleLoader:
                 protected=compiled.is_protected,
                 guards=compiled.guard_count,
             )
+        opt = f", -O{compiled.opt_level}" if compiled.is_protected else ""
         kernel.dmesg(f"module {name}: loaded at {loaded.base:#x} "
                      f"({'protected' if compiled.is_protected else 'unprotected'}, "
-                     f"{compiled.guard_count} guards)")
+                     f"{compiled.guard_count} guards{opt})")
 
         init = compiled.ir.functions.get("init_module")
         if init is not None and not init.is_declaration:

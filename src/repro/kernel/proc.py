@@ -94,6 +94,12 @@ class ProcFS:
             f"allowed: {s.allowed}",
             f"denied: {s.denied}",
             f"entries_scanned: {s.entries_scanned}",
+            f"comparisons: {s.comparisons}",
+            f"structure_checks: {s.structure_checks}",
+            "mean_comparisons_per_check: " + (
+                f"{s.comparisons / s.structure_checks:.2f}"
+                if s.structure_checks else "0.00"
+            ),
             f"intrinsic_checks: {s.intrinsic_checks}",
             f"intrinsic_denied: {s.intrinsic_denied}",
         ]
@@ -108,6 +114,8 @@ class ProcFS:
                         f"cpu{cpu}: checks={row['checks']} "
                         f"allowed={row['allowed']} denied={row['denied']} "
                         f"entries_scanned={row['entries_scanned']} "
+                        f"comparisons={row['comparisons']} "
+                        f"structure_checks={row['structure_checks']} "
                         f"cache_hits={row['guard_cache_hits']} "
                         f"cache_misses={row['guard_cache_misses']}"
                     )
@@ -124,6 +132,18 @@ class ProcFS:
             for name, count in sorted(policy.violations.items()):
                 lines.append(f"violations[{name}]: {count}")
         kernel = self.kernel
+        # Per-module guard-optimizer counters (what each module's -O level
+        # removed/hoisted/coalesced at compile time).
+        for name, mod in sorted(kernel.loader.loaded.items()):
+            compiled = mod.compiled
+            if compiled.is_protected:
+                lines.append(
+                    f"guard_opt[{name}]: O{compiled.opt_level} "
+                    f"guards={compiled.guard_count} "
+                    f"removed={compiled.guards_removed} "
+                    f"hoisted={compiled.guards_hoisted} "
+                    f"coalesced={compiled.guards_coalesced}"
+                )
         lines.append(f"violation_faults: {kernel.violation_faults}")
         lines.append(f"entry_refusals: {kernel.entry_refusals}")
         for name in kernel.isolated_modules():

@@ -11,6 +11,7 @@ from .module import (
     CaratPolicyModule,
     PolicyStats,
 )
+from .interval import IntervalRegionTable, IntervalTableReplica
 from .region import Decision, Region
 from .structures import (
     AMQFilterIndex,
@@ -34,6 +35,8 @@ __all__ = [
     "CachedIndex",
     "CaratPolicyModule",
     "Decision",
+    "IntervalRegionTable",
+    "IntervalTableReplica",
     "LSHBucketIndex",
     "MAX_REGIONS",
     "MODES",

@@ -1,0 +1,165 @@
+"""Overlap-aware interval index: sub-linear lookup, linear-table semantics.
+
+The paper's §4.2 invites replacing the O(n) region-table walk with a
+sorted structure, but the obvious sorted-array/binary-search upgrade
+(:class:`repro.policy.structures.SortedRegionIndex`) cannot represent
+*overlapped* regions, and first-match-wins overlap is load-bearing for
+real policies (quarantine rules shadowing broad allow rules).  This
+module lifts that restriction:
+
+The region list is compiled into **elementary segments**: sort the
+distinct region endpoints; between two adjacent endpoints no region
+boundary occurs, so every region either covers a whole segment or none
+of it.  Each segment stores its candidate regions *in table (priority)
+order*.  A query binary-searches for the segment containing ``addr``
+and takes the first candidate whose end covers ``addr + size`` — which
+is provably the first region in table order covering the access, i.e.
+decision-identical to :meth:`repro.policy.table.RegionTable.check` even
+for arbitrarily overlapped regions.
+
+Cost: O(log n) bisection + O(overlap depth) candidate probes instead of
+O(n); with the 64-region policy the mean comparisons/guard drop from
+~32 to ~log2(64).  For tiny tables (``<= LINEAR_CUTOFF`` regions) the
+linear scan is already optimal, so the index falls back to the exact
+linear walk — byte-identical decisions *and counts* — making the
+interval index never slower than the paper's table.
+
+``IntervalRegionTable`` subclasses :class:`RegionTable`, so the policy
+module's RCU publish path (per-CPU replicas, epoch staleness tokens,
+guard-decision caches) works unchanged; ``snapshot()`` hands each CPU an
+immutable replica carrying the prebuilt segment index.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from .region import Decision, Region
+from .table import MAX_REGIONS, RegionTable, RegionTableReplica
+
+#: At or below this many regions the linear walk beats the bisection,
+#: so the index degrades to the exact paper-table scan (same counts).
+LINEAR_CUTOFF = 8
+
+
+class _IntervalLookup:
+    """Immutable elementary-segment index over a fixed region tuple."""
+
+    __slots__ = ("_regions", "_points", "_candidates", "_linear")
+
+    def __init__(self, regions: tuple[Region, ...]):
+        self._regions = regions
+        if len(regions) <= LINEAR_CUTOFF:
+            self._linear = True
+            self._points: tuple[int, ...] = ()
+            self._candidates: tuple[tuple[Region, ...], ...] = ()
+            return
+        self._linear = False
+        points = sorted({r.base for r in regions} | {r.end for r in regions})
+        self._points = tuple(points)
+        # Segment k (for k in 1..len(points)-1) is [points[k-1], points[k]);
+        # segments 0 and len(points) lie outside every region.  A region
+        # covers segment k iff base <= points[k-1] and end >= points[k];
+        # candidates are kept in table order so "first hit" == "first
+        # match" in the linear table.
+        candidates: list[list[Region]] = [[] for _ in range(len(points) + 1)]
+        for r in regions:
+            lo = bisect.bisect_right(points, r.base)
+            hi = bisect.bisect_left(points, r.end)
+            for k in range(lo, hi + 1):
+                candidates[k].append(r)
+        self._candidates = tuple(tuple(c) for c in candidates)
+
+    def check(
+        self, addr: int, size: int, flags: int, default_allow: bool
+    ) -> Decision:
+        if self._linear or size <= 0:
+            # Exact paper-table walk (also the correctness fallback for
+            # degenerate zero-size probes, where "covers" can match at a
+            # region's exclusive end and segment math would diverge).
+            regions = self._regions
+            for i, r in enumerate(regions):
+                if r.base <= addr and addr + size <= r.base + r.length:
+                    return (r.prot & flags) == flags, i + 1
+            # ``or 1``: the structures contract promises scanned >= 1
+            # even on an empty table (the linear RegionTable alone may
+            # report 0 there).
+            return default_allow, len(regions) or 1
+        points = self._points
+        lo, hi = 0, len(points)
+        steps = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            steps += 1
+            if points[mid] <= addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        end = addr + size
+        for r in self._candidates[lo]:
+            steps += 1
+            if r.base + r.length >= end:
+                return (r.prot & flags) == flags, steps
+        return default_allow, max(steps, 1)
+
+
+class IntervalTableReplica(RegionTableReplica):
+    """Immutable RCU replica carrying the prebuilt segment index."""
+
+    name = "interval-index-replica"
+    pure_check = True
+
+    __slots__ = ("_lookup",)
+
+    def __init__(
+        self,
+        regions: tuple,
+        default_allow: bool,
+        epoch: int,
+        lookup: _IntervalLookup,
+    ):
+        super().__init__(regions, default_allow, epoch)
+        self._lookup = lookup
+
+    def check(self, addr: int, size: int, flags: int) -> Decision:
+        return self._lookup.check(addr, size, flags, self.default_allow)
+
+
+class IntervalRegionTable(RegionTable):
+    """Drop-in :class:`RegionTable` with sub-linear overlap-aware checks.
+
+    Mutations go through the inherited table (priority order preserved,
+    epoch bumped); the segment index is rebuilt lazily on the first check
+    after a mutation.  ``supports_overlap`` stays True: overlapped
+    first-match-wins policies need no ``OverlapError`` fallback.
+    """
+
+    name = "interval-index"
+    supports_overlap = True
+    pure_check = True
+
+    def __init__(self, default_allow: bool = False,
+                 max_regions: int = MAX_REGIONS):
+        super().__init__(default_allow, max_regions)
+        self._lookup: _IntervalLookup | None = None
+        self._lookup_epoch = -1
+
+    def _current_lookup(self) -> _IntervalLookup:
+        if self._lookup is None or self._lookup_epoch != self.epoch:
+            self._lookup = _IntervalLookup(tuple(self._regions))
+            self._lookup_epoch = self.epoch
+        return self._lookup
+
+    def check(self, addr: int, size: int, flags: int) -> Decision:
+        return self._current_lookup().check(
+            addr, size, flags, self.default_allow
+        )
+
+    def snapshot(self) -> IntervalTableReplica:
+        return IntervalTableReplica(
+            tuple(self._regions), self.default_allow, self.epoch,
+            self._current_lookup(),
+        )
+
+
+__all__ = ["IntervalRegionTable", "IntervalTableReplica", "LINEAR_CUTOFF"]

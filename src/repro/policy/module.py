@@ -87,6 +87,7 @@ MODULE_NAME = "carat_kop_policy"
 
 class PolicyStats:
     __slots__ = ("checks", "allowed", "denied", "entries_scanned",
+                 "comparisons", "structure_checks",
                  "intrinsic_checks", "intrinsic_denied",
                  "guard_cache_hits", "guard_cache_misses")
 
@@ -95,6 +96,13 @@ class PolicyStats:
         self.allowed = 0
         self.denied = 0
         self.entries_scanned = 0
+        # Comparisons actually performed by the policy structure (the
+        # quantity abl1 compares): decision-cache hits charge scanned
+        # entries for timing but perform no structure comparisons, so
+        # ``comparisons / structure_checks`` is the operator-visible
+        # mean cost of one real index walk (~n/2 linear, ~log2 n interval).
+        self.comparisons = 0
+        self.structure_checks = 0
         self.intrinsic_checks = 0
         self.intrinsic_denied = 0
         # Decision-cache traffic (only moves for pure_check indexes).
@@ -409,6 +417,8 @@ class CaratPolicyModule:
                 allowed, scanned = self._replica_check(
                     index, cpu, addr, size, flags
                 )
+                stats.structure_checks += 1
+                stats.comparisons += scanned
                 if len(cache.decisions) >= cache.MAX_ENTRIES:
                     cache.decisions.clear()
                 cache.decisions[key] = (allowed, scanned)
@@ -416,6 +426,8 @@ class CaratPolicyModule:
             allowed, scanned = self._replica_check(
                 index, cpu, addr, size, flags
             )
+            stats.structure_checks += 1
+            stats.comparisons += scanned
         stats.checks += 1
         stats.entries_scanned += scanned
         if allowed:

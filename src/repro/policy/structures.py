@@ -487,8 +487,11 @@ class CachedIndex:
         return allowed, steps + 1
 
 
+from .interval import IntervalRegionTable
+
 STRUCTURES = {
     "linear": RegionTable,
+    "interval": IntervalRegionTable,
     "sorted": SortedRegionIndex,
     "splay": SplayRegionIndex,
     "amq": AMQFilterIndex,

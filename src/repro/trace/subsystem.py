@@ -219,6 +219,24 @@ class TraceSubsystem:
         lines.append(counters if counters else "(none)")
         lines += ["", "[guard cycle cost]", self.guard_hist.render()]
         lines += ["", "[guard sites]", self.guard_sites.render()]
+        loader = getattr(self.kernel, "loader", None)
+        if loader is not None and loader.loaded:
+            # Compile-time guard-optimizer work per module: how many
+            # static guard sites each -O level eliminated/hoisted/merged
+            # (context for the runtime site counts above).
+            lines += ["", "[guard opt]"]
+            for name, mod in sorted(loader.loaded.items()):
+                compiled = mod.compiled
+                if not compiled.is_protected:
+                    lines.append(f"{name:<12} unprotected")
+                    continue
+                lines.append(
+                    f"{name:<12} O{compiled.opt_level} "
+                    f"guards={compiled.guard_count} "
+                    f"removed={compiled.guards_removed} "
+                    f"hoisted={compiled.guards_hoisted} "
+                    f"coalesced={compiled.guards_coalesced}"
+                )
         irq = getattr(self.kernel, "irq", None)
         if irq is not None:
             lines += ["", "[irq]"]

@@ -13,7 +13,11 @@ import pytest
 
 from repro.core.system import CaratKopSystem, SystemConfig
 
-_CACHE_KEYS = ("guard_cache_hits", "guard_cache_misses")
+# comparisons/structure_checks count *real* index walks — decision-cache
+# hits skip them — so like the hit/miss counters they measure per-CPU
+# cache warmth, not simulated state.
+_CACHE_KEYS = ("guard_cache_hits", "guard_cache_misses",
+               "comparisons", "structure_checks")
 
 
 def _digest(system, result):
