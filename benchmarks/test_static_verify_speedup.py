@@ -1,0 +1,155 @@
+"""The -O3 static-verification tier on the fig3 workload.
+
+Runs the Figure 3 hot configuration (R415, protected e1000e, 128-byte
+frames) at the paper's maximum 64-region policy and compares the -O2
+production tier against -O3, which proves guards in-policy at compile
+time and elides them at insmod.  Asserts the PR's acceptance bars:
+
+1. the verifier proves >= 50% of the post--O2 guard sites static;
+2. -O3 beats -O2 simulated throughput (elided guards cost zero cycles)
+   and issues strictly fewer dynamic guard checks;
+3. the tier is *behaviourally invisible*: functional simulated state
+   and the deny set are bit-identical to the -O0/interp baseline in
+   every -O{0,2,3} x engine x {1,2,4}-CPU cell.
+
+Writes ``benchmarks/results/BENCH_static_verify.json`` and the
+operator-facing ``fig3_static_verify_diff.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.system import CaratKopSystem, SystemConfig
+
+MACHINE = "r415"          # the fig3 machine
+FRAME_BYTES = 128         # the fig3 frame size
+REGIONS = 64              # the paper's maximum policy table
+PACKETS = 400             # timing cells (deterministic simulated clock)
+IDENTITY_PACKETS = 120    # functional-identity cells
+
+OPT_LEVELS = (0, 2, 3)
+ENGINES = ("interp", "compiled")
+CPUS = (1, 2, 4)
+
+
+def _cell(opt_level, engine="compiled", cpus=1, packets=PACKETS):
+    system = CaratKopSystem(
+        SystemConfig(
+            machine=MACHINE, protect=True, regions=REGIONS,
+            opt_level=opt_level, policy_index="interval",
+            engine=engine, cpus=cpus,
+        )
+    )
+    system.sink.keep_last = 16
+    result = system.blast(size=FRAME_BYTES, count=packets)
+    stats = system.guard_stats()
+    compiled = system.driver_compiled
+    functional = {
+        "packets_sent": result.packets_sent,
+        "errors": result.errors,
+        "stalls": result.stalls,
+        "denied": stats["denied"],
+        "last_frames": [bytes(f) for f in system.sink.recent],
+    }
+    timing = {
+        "total_cycles": result.total_cycles,
+        "throughput_pps": result.throughput_pps,
+        "guard_checks": stats["checks"],
+        "entries_scanned": stats["entries_scanned"],
+        "guards_total": compiled.guard_count,
+        "guards_proven": stats["guards_proven"],
+        "guards_elided": stats["guards_elided"],
+    }
+    return functional, timing
+
+
+def test_static_verify_grid(results_dir):
+    # -- timing: compiled engine, single CPU, deterministic clock ---------
+    grid = {}
+    for level in OPT_LEVELS:
+        _, timing = grid_cell = _cell(level)
+        grid[f"O{level}"] = grid_cell[1]
+
+    o2, o3 = grid["O2"], grid["O3"]
+    # Acceptance bar 1: >= 50% of the post--O2 sites proven static.
+    proven_pct = 100.0 * o3["guards_proven"] / o3["guards_total"]
+    assert proven_pct >= 50.0, (
+        f"verifier proved only {proven_pct:.0f}% of guard sites "
+        f"({o3['guards_proven']}/{o3['guards_total']})"
+    )
+    assert o3["guards_elided"] == o3["guards_proven"]
+    # Acceptance bar 2: strictly faster, strictly fewer dynamic checks.
+    assert o3["throughput_pps"] > o2["throughput_pps"], (
+        f"-O3 did not beat -O2: {o3['throughput_pps']:.0f} vs "
+        f"{o2['throughput_pps']:.0f} pps"
+    )
+    assert o3["guard_checks"] < o2["guard_checks"]
+    assert grid["O0"]["guard_checks"] > o2["guard_checks"]
+
+    # -- functional identity: the full engine x cpus grid -----------------
+    baseline_fn, _ = _cell(0, "interp", 1, IDENTITY_PACKETS)
+    identity_cells = 0
+    for engine in ENGINES:
+        for cpus in CPUS:
+            for level in OPT_LEVELS:
+                functional, _ = _cell(level, engine, cpus, IDENTITY_PACKETS)
+                assert functional == baseline_fn, (
+                    f"-O{level}/{engine}/cpu{cpus}: simulated state "
+                    f"diverged from the -O0/interp baseline"
+                )
+                identity_cells += 1
+    assert baseline_fn["denied"] == 0
+
+    report = {
+        "workload": {
+            "figure": "fig3",
+            "machine": MACHINE,
+            "frame_bytes": FRAME_BYTES,
+            "regions": REGIONS,
+            "packets": PACKETS,
+            "policy_index": "interval",
+        },
+        "grid": grid,
+        "guards_proven_pct": proven_pct,
+        "identity": {
+            "cells": identity_cells,
+            "engines": list(ENGINES),
+            "cpus": list(CPUS),
+            "packets": IDENTITY_PACKETS,
+            "identical_to_O0_interp_baseline": True,
+            "denied_everywhere": 0,
+        },
+    }
+    (results_dir / "BENCH_static_verify.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+
+def test_fig3_diff_O2_vs_O3(results_dir):
+    """The -O2 vs -O3 diff the CI job publishes: the production dynamic
+    tier next to the hybrid static+dynamic tier on the same workload."""
+    _, dynamic = _cell(2)
+    _, hybrid = _cell(3)
+    gain = (hybrid["throughput_pps"] / dynamic["throughput_pps"] - 1.0) * 100
+    proven_pct = 100.0 * hybrid["guards_proven"] / hybrid["guards_total"]
+    lines = [
+        f"fig3 static-verify diff ({MACHINE}, {REGIONS} regions, "
+        f"{PACKETS} packets)",
+        f"{'':<24}{'-O2 dynamic':>16}{'-O3 hybrid':>16}",
+        f"{'throughput (pps)':<24}{dynamic['throughput_pps']:>16,.0f}"
+        f"{hybrid['throughput_pps']:>16,.0f}",
+        f"{'total cycles':<24}{dynamic['total_cycles']:>16,.0f}"
+        f"{hybrid['total_cycles']:>16,.0f}",
+        f"{'dynamic guard checks':<24}{dynamic['guard_checks']:>16,}"
+        f"{hybrid['guard_checks']:>16,}",
+        f"{'guard sites proven':<24}{'-':>16}"
+        f"{hybrid['guards_proven']:>13,} ({proven_pct:.0f}%)",
+        "",
+        f"static-verify tier gain: {gain:+.2f}% simulated throughput",
+    ]
+    (results_dir / "fig3_static_verify_diff.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    assert hybrid["throughput_pps"] > dynamic["throughput_pps"]
+    assert hybrid["guard_checks"] < dynamic["guard_checks"]

@@ -31,6 +31,8 @@ META_OPT_LEVEL = "carat.opt_level"
 META_GUARDS_REMOVED = "carat.guards_removed"
 META_GUARDS_HOISTED = "carat.guards_hoisted"
 META_GUARDS_COALESCED = "carat.guards_coalesced"
+META_GUARDS_PROVEN = "carat.guards_proven"
+META_GUARDS_DYNAMIC = "carat.guards_dynamic"
 
 #: Identity string of our "clang 14.0.0 + CARAT KOP pass" stand-in.
 COMPILER_ID = "caratcc-0.1 (minicc + kop-guard-pass)"
@@ -74,7 +76,9 @@ __all__ = [
     "META_COMPILER",
     "META_GUARDED",
     "META_GUARDS_COALESCED",
+    "META_GUARDS_DYNAMIC",
     "META_GUARDS_HOISTED",
+    "META_GUARDS_PROVEN",
     "META_GUARDS_REMOVED",
     "META_GUARD_COUNT",
     "META_HAS_ASM",

@@ -143,10 +143,19 @@ def pktblast_main(argv: list[str] | None = None) -> int:
         help="what a guard denial does (default: panic, the paper behaviour)",
     )
     ap.add_argument(
-        "--opt-level", type=int, default=2, choices=[0, 1, 2],
+        "--opt-level", type=int, default=2, choices=[0, 1, 2, 3],
         help="guard optimization level: 0 = faithful paper build (a guard "
              "before every load/store), 1 = eliminate+hoist, 2 = adds "
-             "range coalescing (default: 2, the production tier)",
+             "range coalescing, 3 = adds load-time static verification "
+             "(prove guards in-policy, elide them at insmod) "
+             "(default: 2, the production tier)",
+    )
+    ap.add_argument(
+        "--verify-policy", default="demote",
+        choices=["strict", "demote", "off"],
+        help="what insmod does with a stale or invalid -O3 verification "
+             "certificate: strict = reject the module, demote = load with "
+             "full dynamic guarding (default), off = ignore certificates",
     )
     ap.add_argument(
         "--policy-index", default="interval",
@@ -181,6 +190,7 @@ def pktblast_main(argv: list[str] | None = None) -> int:
                 enforce_mode=args.enforce_mode,
                 cpus=args.cpus, smp_seed=args.smp_seed,
                 opt_level=args.opt_level, policy_index=args.policy_index,
+                verify_policy=args.verify_policy,
             ),
         )
         technique = "baseline" if args.baseline else "carat"
@@ -205,6 +215,7 @@ def pktblast_main(argv: list[str] | None = None) -> int:
             enforce_mode=args.enforce_mode,
             cpus=args.cpus, smp_seed=args.smp_seed,
             opt_level=args.opt_level, policy_index=args.policy_index,
+            verify_policy=args.verify_policy,
         )
     )
     profiler = None
@@ -323,9 +334,10 @@ def bench_main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--trials", type=int, default=41)
     ap.add_argument(
-        "--opt-level", type=int, default=2, choices=[0, 1, 2],
+        "--opt-level", type=int, default=2, choices=[0, 1, 2, 3],
         help="guard optimization level for the throughput figure (fig3); "
-             "0 --policy-index linear reproduces the faithful paper build "
+             "0 --policy-index linear reproduces the faithful paper build, "
+             "3 adds load-time static verification "
              "(default: 2, the production tier)",
     )
     ap.add_argument(

@@ -17,6 +17,7 @@ same optimization flags, no guards, exactly the paper's §4.1 methodology
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -34,8 +35,14 @@ from ..passes import (
     PassManager,
     PeepholePass,
 )
+from ..passes.absint import ModuleVerifier
 from ..passes.intrinsic_guard import IntrinsicGuardPass
-from ..signing import SigningKey, sign_module
+from ..signing import (
+    SigningKey,
+    VerificationCertificate,
+    canonical_bytes,
+    sign_module,
+)
 
 
 @dataclass
@@ -51,13 +58,24 @@ class CompileOptions:
     optimize_guards: bool = False
     #: Guard optimization level: 0 = faithful paper mode (guard every
     #: access), 1 = dominated-guard elimination + loop-invariant hoisting,
-    #: 2 = adds range coalescing.  ``None`` derives the level from
-    #: ``optimize_guards`` (True -> 1, False -> 0).
+    #: 2 = adds range coalescing, 3 = adds load-time static verification
+    #: (prove guards in-policy and mint an elision certificate).  ``None``
+    #: derives the level from ``optimize_guards`` (True -> 1, False -> 0).
     opt_level: Optional[int] = None
     #: Individual transform overrides; ``None`` follows ``opt_level``.
     eliminate_guards: Optional[bool] = None
     hoist_guards: Optional[bool] = None
     coalesce_guards: Optional[bool] = None
+    #: Run the abstract-interpretation verifier (``None`` follows
+    #: ``opt_level >= 3``).  Requires ``verify_table``; without a table
+    #: the tier degrades to -O2 behaviour (no certificate minted).
+    verify: Optional[bool] = None
+    #: The policy table (RegionTable/IntervalRegionTable) to prove guard
+    #: ranges against — normally the live table the kernel will enforce.
+    verify_table: Optional[object] = None
+    #: Trusted contract set (``repro.passes.absint.ContractSet``); must
+    #: match the kernel's registered contracts or insmod will demote.
+    contracts: Optional[object] = None
     #: Guard privileged intrinsics too (paper §5 extension).
     guard_intrinsics: bool = False
     #: Guard module->kernel calls too (paper §5 control-flow extension).
@@ -73,10 +91,18 @@ class CompileOptions:
     def resolved_opt_level(self) -> int:
         """The effective ``-O`` level after legacy-flag fallback."""
         if self.opt_level is not None:
-            if self.opt_level not in (0, 1, 2):
-                raise ValueError(f"opt_level must be 0, 1, or 2: {self.opt_level}")
+            if self.opt_level not in (0, 1, 2, 3):
+                raise ValueError(
+                    f"opt_level must be 0, 1, 2, or 3: {self.opt_level}"
+                )
             return self.opt_level
         return 1 if self.optimize_guards else 0
+
+    def verify_enabled(self) -> bool:
+        """Static verification tier (``-O3``) after overrides."""
+        if self.verify is not None:
+            return self.verify
+        return self.resolved_opt_level() >= 3
 
     def guard_opt_toggles(self) -> tuple[bool, bool, bool]:
         """``(eliminate, hoist, coalesce)`` after per-transform overrides."""
@@ -110,6 +136,8 @@ class CompileStats:
     guards_removed: int = 0
     guards_hoisted: int = 0
     guards_coalesced: int = 0
+    guards_proven: int = 0
+    guards_dynamic: int = 0
     passes_run: list[str] = field(default_factory=list)
 
     @property
@@ -185,16 +213,47 @@ def compile_module(
         stats.guards_removed = guard_opt.guards_removed
         stats.guards_hoisted = guard_opt.guards_hoisted
         stats.guards_coalesced = guard_opt.guards_coalesced
+
+    # -O3: prove guard ranges against the live policy table.  The
+    # verdicts are computed on the final IR (after guard opt), so the
+    # signature below attests to exactly the code the verdicts describe.
+    report = None
+    if opts.protect and opts.verify_enabled() and opts.verify_table is not None:
+        verifier = ModuleVerifier(ir, opts.verify_table, opts.contracts)
+        report = verifier.run()
+        stats.guards_proven = report.guards_proven
+        stats.guards_dynamic = report.guards_dynamic
+        stats.passes_run.append("kop-absint")
+
     if opts.protect:
         ir.metadata[abi.META_GUARD_COUNT] = stats.guards
         ir.metadata[abi.META_OPT_LEVEL] = stats.opt_level
         ir.metadata[abi.META_GUARDS_REMOVED] = stats.guards_removed
         ir.metadata[abi.META_GUARDS_HOISTED] = stats.guards_hoisted
         ir.metadata[abi.META_GUARDS_COALESCED] = stats.guards_coalesced
+        if report is not None:
+            ir.metadata[abi.META_GUARDS_PROVEN] = stats.guards_proven
+            ir.metadata[abi.META_GUARDS_DYNAMIC] = stats.guards_dynamic
 
     signature = sign_module(ir, opts.key) if opts.key is not None else None
+    certificate = None
+    if report is not None:
+        table = opts.verify_table
+        certificate = VerificationCertificate(
+            module_name=ir.name,
+            ir_digest=hashlib.sha256(canonical_bytes(ir)).hexdigest(),
+            policy_digest=table.digest(),
+            policy_epoch=table.epoch,
+            contracts_digest=report.contracts_digest,
+            verdicts=report.verdicts,
+            guards_proven=report.guards_proven,
+            guards_dynamic=report.guards_dynamic,
+        )
     compiled = CompiledModule(
-        ir=ir, signature=signature, source_lines=stats.source_lines
+        ir=ir,
+        signature=signature,
+        source_lines=stats.source_lines,
+        certificate=certificate,
     )
     compiled.stats = stats  # type: ignore[attr-defined]
     return compiled

@@ -33,8 +33,14 @@ class SystemConfig:
     #: CARAT CAKE-style guard optimization (legacy toggle == ``-O1``).
     optimize_guards: bool = False
     #: Guard optimization level: 0 faithful, 1 eliminate+hoist, 2 adds
-    #: range coalescing.  ``None`` derives from ``optimize_guards``.
+    #: range coalescing, 3 adds load-time static verification (prove
+    #: guards in-policy at compile time, elide them at insmod).
+    #: ``None`` derives from ``optimize_guards``.
     opt_level: Optional[int] = None
+    #: What insmod does with a stale/invalid verification certificate:
+    #: "strict" rejects the module, "demote" (default) loads it with
+    #: full dynamic guarding, "off" ignores certificates entirely.
+    verify_policy: str = "demote"
     #: Policy index structure: a region-table instance, or a structure
     #: name from ``repro.policy.structures.STRUCTURES`` ("linear",
     #: "interval", ...).  None means the paper's linear table.
@@ -83,6 +89,7 @@ class CaratKopSystem:
             engine=cfg.engine,
             ncpus=cfg.cpus,
             smp_seed=cfg.smp_seed,
+            verify_policy=cfg.verify_policy,
         )
         index = cfg.policy_index if cfg.policy_index is not None else RegionTable()
         if isinstance(index, str):
@@ -107,15 +114,25 @@ class CaratKopSystem:
             freq_hz=machine.freq_hz if machine else None,
         )
 
+        compile_opts = CompileOptions(
+            module_name=DRIVER_NAME,
+            protect=cfg.protect,
+            optimize_guards=cfg.optimize_guards,
+            opt_level=cfg.opt_level,
+            key=self.signing_key,
+        )
+        if cfg.protect and compile_opts.verify_enabled():
+            # -O3: prove guards against the live policy table (installed
+            # above, so the digest/epoch the certificate captures are
+            # exactly what insmod re-validates) under the driver's
+            # trusted ABI contracts.
+            from ..e1000e.contracts import DRIVER_CONTRACTS
+
+            self.kernel.register_verify_contracts(DRIVER_CONTRACTS)
+            compile_opts.verify_table = self.policy.index
+            compile_opts.contracts = DRIVER_CONTRACTS
         self.driver_compiled: CompiledModule = compile_module(
-            DRIVER_SOURCE,
-            CompileOptions(
-                module_name=DRIVER_NAME,
-                protect=cfg.protect,
-                optimize_guards=cfg.optimize_guards,
-                opt_level=cfg.opt_level,
-                key=self.signing_key,
-            ),
+            DRIVER_SOURCE, compile_opts,
         )
         self.driver: LoadedModule = self.kernel.insmod(self.driver_compiled)
         self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
@@ -145,6 +162,9 @@ class CaratKopSystem:
             vm, "translation_cache_hits", 0)
         stats["translation_cache_misses"] = getattr(
             vm, "translation_cache_misses", 0)
+        stats["guards_proven"] = self.driver_compiled.guards_proven
+        stats["guards_elided"] = len(self.driver.elided_guards)
+        stats["verify_demotions"] = self.kernel.verify_demotions
         return stats
 
     def reload_driver(self) -> LoadedModule:

@@ -1,0 +1,55 @@
+"""Trusted verification contracts for the e1000e mini-driver.
+
+These are the invariants the load-time verifier (`repro.passes.absint`)
+cannot derive from the module IR alone but which the kernel vouches for
+— the role eBPF helper annotations play for the eBPF verifier.  Each is
+justified by a kernel-enforced fact:
+
+- ``e1000e_xmit_frame``'s data pointer is the frame buffer the netdev
+  layer hands in, always a ``kmalloc``-backed (direct-map) allocation.
+- ``e1000e_read_reg`` is reached only through the chardev ioctl path,
+  which masks the register offset to the BAR window before calling.
+- ``adapter.mmio`` holds an ``ioremap`` cookie (vmalloc window) from
+  probe until remove; ring pointers hold ``kmalloc`` results; ring
+  geometry fields are written once at setup from compile-time constants
+  and only ever advanced modulo the ring size.
+
+Contracts are part of the trusted computing base: their canonical
+digest is bound into every verification certificate, and insmod
+re-verifies against the kernel's registered set — a module cannot ship
+its own.
+"""
+
+from __future__ import annotations
+
+from ..passes.absint import ArgContract, ContractSet, FieldContract
+from .regs import BAR_SIZE
+
+RING_ENTRIES = 256
+RX_ENTRIES = 128
+TDESC_SIZE = 16
+RX_BUF_SIZE = 2048
+
+DRIVER_CONTRACTS = ContractSet([
+    # netdev hands xmit a direct-map frame buffer of at least one MTU
+    ArgContract("e1000e_xmit_frame", 0, area="heap", reserve=RX_BUF_SIZE),
+    # ioctl path masks the register offset to the BAR before calling
+    ArgContract("e1000e_read_reg", 0, lo=0, hi=BAR_SIZE - 4),
+    # probe-time ioremap cookie for the whole BAR, stable until remove
+    FieldContract("adapter", "mmio", area="mmio", reserve=BAR_SIZE),
+    # ring descriptor arrays and RX buffer slab are kmalloc-backed
+    FieldContract("adapter", "tx.desc_virt", area="heap",
+                  reserve=RING_ENTRIES * TDESC_SIZE),
+    FieldContract("adapter", "rx.desc_virt", area="heap",
+                  reserve=RX_ENTRIES * TDESC_SIZE),
+    FieldContract("adapter", "rx.buffers", area="heap",
+                  reserve=RX_ENTRIES * RX_BUF_SIZE),
+    # ring geometry: set once at setup, advanced modulo ring size
+    FieldContract("adapter", "tx.count", lo=RING_ENTRIES, hi=RING_ENTRIES),
+    FieldContract("adapter", "tx.next_to_use", lo=0, hi=RING_ENTRIES - 1),
+    FieldContract("adapter", "tx.next_to_clean", lo=0, hi=RING_ENTRIES - 1),
+    FieldContract("adapter", "rx.count", lo=RX_ENTRIES, hi=RX_ENTRIES),
+    FieldContract("adapter", "rx.next_to_clean", lo=0, hi=RX_ENTRIES - 1),
+])
+
+__all__ = ["DRIVER_CONTRACTS"]

@@ -46,7 +46,13 @@ class Kernel:
         engine: str = "compiled",
         ncpus: int = 1,
         smp_seed: int = 0,
+        verify_policy: str = "demote",
     ):
+        if verify_policy not in ("strict", "demote", "off"):
+            raise ValueError(
+                f"verify_policy must be strict, demote, or off: "
+                f"{verify_policy!r}"
+            )
         self.ram = PhysicalMemory(ram_size)
         self.address_space = KernelAddressSpace(self.ram)
         self.page_allocator = PageAllocator(self.ram)
@@ -87,6 +93,15 @@ class Kernel:
         self._eject_hooks: dict[str, dict[str, Callable]] = {}
         self.violation_faults = 0
         self.entry_refusals = 0
+        # Static-verification tier (-O3) state: how insmod treats
+        # certificates ("strict" rejects invalid ones, "demote" loads
+        # with full dynamic guarding, "off" ignores them entirely), the
+        # kernel-registered trusted contract set, and the policy module
+        # backref the verifier proves ranges against.
+        self.verify_policy = verify_policy
+        self.verify_contracts = None
+        self.carat_policy = None
+        self.verify_demotions = 0
         self._vm: Optional["Interpreter"] = None
         self._ioremap_next = layout.VMALLOC_BASE
         # Kernel stack backing for interpreter frames.
@@ -145,6 +160,11 @@ class Kernel:
         ):
             self.entry_refusals += 1
             return -EACCES
+        if module.elided_guards and self._verify_token_stale(module):
+            # Belt and braces under the eager on_policy_mutated() hook:
+            # a table mutated outside the ioctl path (tests poking the
+            # index directly) still demotes before any elided site runs.
+            self.demote_module(module, "policy changed since verification")
         vm = self.vm
         outermost = vm._depth == 0
         try:
@@ -184,6 +204,51 @@ class Kernel:
                     f"stack unwinds"
                 )
         return -EFAULT
+
+    # -- static verification (hybrid static+dynamic guarding) --------------------------
+
+    def register_verify_contracts(self, contracts) -> None:
+        """Install the kernel's trusted contract set (the -O3 verifier's
+        TCB).  Certificates minted against a different set are demoted
+        or rejected at insmod."""
+        self.verify_contracts = contracts
+
+    def _verify_token_stale(self, module: LoadedModule) -> bool:
+        policy = self.carat_policy
+        if policy is None:
+            return True
+        if module.name in policy.module_indexes:
+            return True  # certified against the global table, not this one
+        index = policy.index
+        return (index.epoch, index.default_allow) != module.verify_token
+
+    def demote_module(self, loaded: LoadedModule, reason: str) -> None:
+        """Drop a module's static elisions: every guard site runs
+        dynamically again (translations are invalidated so compiled code
+        re-emits the guard calls)."""
+        if not loaded.elided_guards:
+            return
+        loaded.elided_guards.clear()
+        loaded.verify_token = None
+        loaded.verify_state = f"demoted:{reason}"
+        loaded.invalidate_translations()
+        self.verify_demotions += 1
+        self.dmesg(
+            f"module {loaded.name}: verification certificate invalidated "
+            f"({reason}); demoted to full dynamic guarding"
+        )
+
+    def on_policy_mutated(self) -> int:
+        """Policy-mutation hook (SET/REMOVE region ioctls): any loaded
+        module running with statically elided guards was certified
+        against the pre-mutation table and must fall back to dynamic
+        guarding.  Returns the number of modules demoted."""
+        demoted = 0
+        for loaded in list(self.loader.loaded.values()):
+            if loaded.elided_guards:
+                self.demote_module(loaded, "policy table mutated")
+                demoted += 1
+        return demoted
 
     # -- graceful enforcement: eject / isolate / quarantine ---------------------------
 

@@ -9,6 +9,7 @@ unattested module is refused — the operator's deployment story from §1.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
@@ -16,7 +17,14 @@ from typing import TYPE_CHECKING, Optional
 from .. import abi
 from ..ir import Function, Module, verify_module
 from ..ir.values import ConstantFloat, ConstantInt, ConstantNull, ConstantString
-from ..signing import ModuleSignature, SignatureError, SigningKey, verify_signature
+from ..signing import (
+    ModuleSignature,
+    SignatureError,
+    SigningKey,
+    VerificationCertificate,
+    canonical_bytes,
+    verify_signature,
+)
 from . import layout
 from .panic import KernelPanic
 from .symbols import Symbol, SymbolTable
@@ -42,6 +50,10 @@ class CompiledModule:
     source_lines: int = 0
     #: Compiler statistics (:class:`repro.core.pipeline.CompileStats`).
     stats: Optional[object] = None
+    #: -O3 static-verification certificate
+    #: (:class:`repro.signing.VerificationCertificate`); validated and
+    #: re-derived by insmod before any guard may be elided.
+    certificate: Optional[VerificationCertificate] = None
 
     @property
     def name(self) -> str:
@@ -71,6 +83,18 @@ class CompiledModule:
     def guards_coalesced(self) -> int:
         return int(self.ir.metadata.get(abi.META_GUARDS_COALESCED, 0))  # type: ignore[arg-type]
 
+    @property
+    def guards_proven(self) -> int:
+        return int(self.ir.metadata.get(abi.META_GUARDS_PROVEN, 0))  # type: ignore[arg-type]
+
+    @property
+    def guards_dynamic(self) -> int:
+        return int(self.ir.metadata.get(abi.META_GUARDS_DYNAMIC, 0))  # type: ignore[arg-type]
+
+    @property
+    def is_verified(self) -> bool:
+        return self.certificate is not None
+
 
 @dataclass
 class LoadedModule:
@@ -96,6 +120,15 @@ class LoadedModule:
     #: additionally keyed on ``ir.generation``, so IR rewrites invalidate
     #: them; :meth:`invalidate_translations` forces the same.
     translations: dict = field(default_factory=dict, repr=False, compare=False)
+    #: ``id()`` of every guard Call instruction the validated certificate
+    #: proves in-policy; the execution engines skip (interpreter) or
+    #: never emit (compiled) these sites.  Empty = full dynamic guarding.
+    elided_guards: set = field(default_factory=set, repr=False, compare=False)
+    #: ``(policy_epoch, default_allow)`` the elisions were validated
+    #: against; a mismatch against the live table demotes the module.
+    verify_token: Optional[tuple] = None
+    #: "verified" | "demoted:<reason>" | "" (never certified).
+    verify_state: str = ""
 
     @property
     def name(self) -> str:
@@ -148,6 +181,11 @@ class ModuleLoader:
         verify_module(compiled.ir)
 
         loaded = self._map_and_link(compiled)
+        try:
+            self._apply_verification(compiled, loaded)
+        except LoadError:
+            self._unwind_mapping(loaded)
+            raise
         self.loaded[name] = loaded
         tp = self._tp_load
         if tp.enabled:
@@ -159,6 +197,11 @@ class ModuleLoader:
                 guards=compiled.guard_count,
             )
         opt = f", -O{compiled.opt_level}" if compiled.is_protected else ""
+        if loaded.verify_state == "verified":
+            opt += (f", {len(loaded.elided_guards)} proven static / "
+                    f"{compiled.guards_dynamic} dynamic")
+        elif loaded.verify_state:
+            opt += f", {loaded.verify_state}"
         kernel.dmesg(f"module {name}: loaded at {loaded.base:#x} "
                      f"({'protected' if compiled.is_protected else 'unprotected'}, "
                      f"{compiled.guard_count} guards{opt})")
@@ -216,6 +259,85 @@ class ModuleLoader:
                 raise LoadError(
                     f"module {compiled.name}: contains inline assembly"
                 )
+
+    def _apply_verification(
+        self, compiled: CompiledModule, loaded: LoadedModule
+    ) -> None:
+        """Validate a -O3 certificate and arm the guard elisions.
+
+        The kernel never trusts the shipped verdicts: after checking the
+        IR digest, policy digest/epoch, and contract digest, it re-runs
+        the deterministic analysis itself and requires bit-for-bit
+        verdict agreement.  Any mismatch rejects the module under
+        ``verify_policy="strict"`` or loads it with full dynamic
+        guarding under ``"demote"``; ``"off"`` ignores certificates.
+        """
+        kernel = self.kernel
+        cert = compiled.certificate
+        if cert is None or kernel.verify_policy == "off":
+            return
+
+        def invalid(reason: str) -> None:
+            if kernel.verify_policy == "strict":
+                raise LoadError(
+                    f"module {compiled.name}: verification certificate "
+                    f"rejected ({reason})"
+                )
+            kernel.verify_demotions += 1
+            loaded.verify_state = f"demoted:{reason}"
+            kernel.dmesg(
+                f"module {compiled.name}: certificate invalid ({reason}); "
+                "loading with full dynamic guarding"
+            )
+
+        from ..passes.absint import (
+            EMPTY_CONTRACTS,
+            ModuleVerifier,
+            elidable_guard_ids,
+        )
+
+        ir_digest = hashlib.sha256(canonical_bytes(compiled.ir)).hexdigest()
+        if ir_digest != cert.ir_digest:
+            return invalid("IR digest mismatch")
+        policy = kernel.carat_policy
+        if policy is None:
+            return invalid("no policy module installed")
+        if compiled.name in policy.module_indexes:
+            return invalid("module is bound to a per-module policy table")
+        table = policy.index
+        if not hasattr(table, "digest") or not hasattr(table, "check_range"):
+            return invalid(
+                f"policy index {getattr(table, 'name', '?')} does not "
+                "support static range queries"
+            )
+        if table.digest() != cert.policy_digest:
+            return invalid("policy table changed since certification")
+        if table.epoch != cert.policy_epoch:
+            return invalid("stale policy epoch")
+        contracts = kernel.verify_contracts
+        if (contracts or EMPTY_CONTRACTS).digest() != cert.contracts_digest:
+            return invalid("contract set mismatch")
+        report = ModuleVerifier(compiled.ir, table, contracts).run()
+        if report.verdicts != cert.verdicts:
+            return invalid("verdicts do not reproduce under re-analysis")
+        loaded.elided_guards = elidable_guard_ids(
+            compiled.ir, report.proven_map()
+        )
+        loaded.verify_token = (table.epoch, table.default_allow)
+        loaded.verify_state = "verified"
+
+    def _unwind_mapping(self, loaded: LoadedModule) -> None:
+        """Back out a mapped-and-linked module that insmod then refused
+        (e.g. a strict-mode certificate rejection): withdraw its exports
+        and references, unmap, and return its pages."""
+        kernel = self.kernel
+        kernel.symbols.remove_owner(loaded.name)
+        self._drop_references(loaded)
+        kernel.address_space.unmap(loaded.base)
+        kernel.page_allocator.free_pages(
+            loaded.phys, loaded.size // layout.PAGE_SIZE
+        )
+        kernel.journal.drop(loaded.name)
 
     def _map_and_link(self, compiled: CompiledModule) -> LoadedModule:
         """Map, initialize, and link; unwinds the mapping on any failure

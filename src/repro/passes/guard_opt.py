@@ -65,6 +65,55 @@ from .analysis import DominatorTree, Loop, find_loops
 _ADDR_CASTS = ("bitcast", "inttoptr", "ptrtoint")
 
 
+def counted_induction(loop: Loop) -> Optional[tuple[Phi, int, int, int]]:
+    """Recognize ``for (i = C0; i < C1; i += C2)`` in the loop header.
+
+    Returns ``(phi, init, step, last)`` where ``last`` is the final
+    value the induction variable takes inside the loop, or ``None``
+    when the loop is not a simple counted sweep.  Shared with the
+    load-time verifier (:mod:`repro.passes.absint`), which uses the same
+    recognition to bound induction-variable ranges.
+    """
+    header = loop.header
+    term = header.terminator
+    if not (isinstance(term, Br) and term.is_conditional):
+        return None
+    cond = term.condition
+    if not (isinstance(cond, ICmp) and cond.pred in ("slt", "ult")):
+        return None
+    # True edge must stay in the loop, false edge must exit.
+    if not (
+        loop.contains(term.targets[0])
+        and not loop.contains(term.targets[1])
+    ):
+        return None
+    phi, limit = cond.lhs, cond.rhs
+    if not (isinstance(phi, Phi) and isinstance(limit, ConstantInt)):
+        return None
+    if phi.parent is not header or len(phi.incoming) != 2:
+        return None
+    init: Optional[int] = None
+    step: Optional[int] = None
+    for value, block in phi.incoming:
+        if loop.contains(block):
+            if isinstance(value, BinOp) and value.op == "add":
+                if value.lhs is phi and isinstance(value.rhs, ConstantInt):
+                    step = value.rhs.signed
+                elif value.rhs is phi and isinstance(value.lhs, ConstantInt):
+                    step = value.lhs.signed
+        elif isinstance(value, ConstantInt):
+            init = value.signed
+    lim = limit.signed
+    if init is None or step is None or step <= 0:
+        return None
+    if init < 0 or lim < 0:
+        return None  # keep slt/ult equivalent: nonnegative ranges only
+    if lim <= init:
+        return None  # zero-trip loop: nothing to cover
+    last = init + ((lim - 1 - init) // step) * step
+    return phi, init, step, last
+
+
 class _ValueNumber:
     """Structural value numbering for address computations.
 
@@ -400,50 +449,7 @@ class GuardOptPass:
     def _counted_induction(
         self, loop: Loop
     ) -> Optional[tuple[Phi, int, int, int]]:
-        """Recognize ``for (i = C0; i < C1; i += C2)`` in the loop header.
-
-        Returns ``(phi, init, step, last)`` where ``last`` is the final
-        value the induction variable takes inside the loop, or ``None``
-        when the loop is not a simple counted sweep.
-        """
-        header = loop.header
-        term = header.terminator
-        if not (isinstance(term, Br) and term.is_conditional):
-            return None
-        cond = term.condition
-        if not (isinstance(cond, ICmp) and cond.pred in ("slt", "ult")):
-            return None
-        # True edge must stay in the loop, false edge must exit.
-        if not (
-            loop.contains(term.targets[0])
-            and not loop.contains(term.targets[1])
-        ):
-            return None
-        phi, limit = cond.lhs, cond.rhs
-        if not (isinstance(phi, Phi) and isinstance(limit, ConstantInt)):
-            return None
-        if phi.parent is not header or len(phi.incoming) != 2:
-            return None
-        init: Optional[int] = None
-        step: Optional[int] = None
-        for value, block in phi.incoming:
-            if loop.contains(block):
-                if isinstance(value, BinOp) and value.op == "add":
-                    if value.lhs is phi and isinstance(value.rhs, ConstantInt):
-                        step = value.rhs.signed
-                    elif value.rhs is phi and isinstance(value.lhs, ConstantInt):
-                        step = value.lhs.signed
-            elif isinstance(value, ConstantInt):
-                init = value.signed
-        lim = limit.signed
-        if init is None or step is None or step <= 0:
-            return None
-        if init < 0 or lim < 0:
-            return None  # keep slt/ult equivalent: nonnegative ranges only
-        if lim <= init:
-            return None  # zero-trip loop: nothing to cover
-        last = init + ((lim - 1 - init) // step) * step
-        return phi, init, step, last
+        return counted_induction(loop)
 
     def _sweep_guards(
         self, loop: Loop, phi: Phi
@@ -623,4 +629,4 @@ class GuardOptPass:
         return preheader
 
 
-__all__ = ["GuardOptPass"]
+__all__ = ["GuardOptPass", "counted_induction"]

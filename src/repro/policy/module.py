@@ -310,6 +310,7 @@ class CaratPolicyModule:
             private=True,
         )
         self.kernel.devices.register(DEVICE_PATH, self)
+        self.kernel.carat_policy = self
         self.kernel.dmesg(
             f"{MODULE_NAME}: loaded (index={self.index.name}, "
             f"enforce={'on' if self.enforce else 'audit-only'})"
@@ -323,6 +324,8 @@ class CaratPolicyModule:
             return
         self.kernel.retire_symbols(MODULE_NAME)
         self.kernel.devices.unregister(DEVICE_PATH)
+        if self.kernel.carat_policy is self:
+            self.kernel.carat_policy = None
         self.kernel.dmesg(f"{MODULE_NAME}: unloaded")
         self._installed = False
 
@@ -537,21 +540,25 @@ class CaratPolicyModule:
                 f"{Region(base, length, prot).describe()}"
             )
             self._publish_replicas()
+            self.kernel.on_policy_mutated()
             return struct.pack("<I", idx)
         if cmd == CMD_DEL_REGION:
             base, length = self._unpack("<QQ", arg)
             ok = self.index.remove(base, length)
             if ok:
                 self._publish_replicas()
+                self.kernel.on_policy_mutated()
             return struct.pack("<I", int(ok))
         if cmd == CMD_CLEAR:
             self.index.clear()
             self._publish_replicas()
+            self.kernel.on_policy_mutated()
             return b""
         if cmd == CMD_SET_DEFAULT:
             (flag,) = self._unpack("<I", arg)
             self.index.default_allow = bool(flag)
             self._publish_replicas()
+            self.kernel.on_policy_mutated()
             return b""
         if cmd == CMD_SET_ENFORCE:
             (flag,) = self._unpack("<I", arg)
@@ -607,9 +614,11 @@ class CaratPolicyModule:
                 raise IoctlError(ENOSPC, str(e)) from e
             except ValueError as e:
                 raise IoctlError(EINVAL, str(e)) from e
+            self.kernel.on_policy_mutated()
             return struct.pack("<I", idx)
         if cmd == CMD_CLEAR_FOR:
             self.module_indexes.pop(self._decode_name(arg), None)
+            self.kernel.on_policy_mutated()
             return b""
         if cmd == CMD_SET_MODE:
             (code,) = self._unpack("<I", arg)

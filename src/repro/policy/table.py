@@ -15,6 +15,7 @@ Figure 5 varies).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 from .region import Decision, Region
@@ -116,6 +117,61 @@ class RegionTable:
             if r.base <= addr and addr + size <= r.base + r.length:
                 return (r.prot & flags) == flags, i + 1
         return self.default_allow, len(regions)
+
+    def check_range(self, lo: int, hi: int, size: int, flags: int) -> bool:
+        """Static range query for the load-time verifier: would ``check``
+        allow *every* access ``[a, a + size)`` with ``a`` in ``[lo, hi]``?
+
+        Exact under first-match semantics: walk the table in order,
+        tracking the interval set of start addresses not yet decided by
+        an earlier region.  A region decides the starts it fully covers;
+        if any region that decides some starts denies ``flags``, the
+        range is not provably allowed.  Starts no region covers fall
+        through to ``default_allow``.
+        """
+        if size <= 0 or hi < lo:
+            return False
+        undecided = [(lo, hi)]
+        for r in self._regions:
+            if not undecided:
+                break
+            # Start addresses whose whole access fits inside this region.
+            rlo = r.base
+            rhi = r.base + r.length - size
+            if rhi < rlo:
+                continue
+            remaining = []
+            decided_any = False
+            for ulo, uhi in undecided:
+                ilo, ihi = max(ulo, rlo), min(uhi, rhi)
+                if ilo > ihi:
+                    remaining.append((ulo, uhi))
+                    continue
+                decided_any = True
+                if ilo > ulo:
+                    remaining.append((ulo, ilo - 1))
+                if ihi < uhi:
+                    remaining.append((ihi + 1, uhi))
+            if decided_any and (r.prot & flags) != flags:
+                return False
+            undecided = remaining
+        if undecided and not self.default_allow:
+            return False
+        return True
+
+    def digest(self) -> str:
+        """Canonical content digest (regions in table order + default).
+
+        Index-structure independent: a linear table and an interval table
+        holding the same regions produce the same digest, because their
+        ``check`` decisions are identical.  Verification certificates
+        record this to detect stale policy at insmod.
+        """
+        h = hashlib.sha256()
+        for r in self._regions:
+            h.update(f"{r.base:x}|{r.length:x}|{r.prot:x};".encode())
+        h.update(f"default={int(self.default_allow)}".encode())
+        return h.hexdigest()
 
     def find(self, addr: int, size: int) -> Optional[Region]:
         for r in self._regions:

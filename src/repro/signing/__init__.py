@@ -12,20 +12,29 @@ provisioned with the same key (HMAC = symmetric, which is enough to model
 the trust relationship — the interesting failure modes are *tampered
 code*, *stripped guards*, and *forged attestation*, all of which tests
 exercise).
+
+`certificate` extends the chain with the -O3 static-verification tier:
+a :class:`VerificationCertificate` records per-guard verdicts bound to a
+policy-table digest/epoch, validated (and re-derived) at insmod.
 """
 
+from .certificate import CertificateError, VerificationCertificate
 from .signer import (
     ModuleSignature,
     SignatureError,
     SigningKey,
+    canonical_bytes,
     sign_module,
     verify_signature,
 )
 
 __all__ = [
+    "CertificateError",
     "ModuleSignature",
     "SignatureError",
     "SigningKey",
+    "VerificationCertificate",
+    "canonical_bytes",
     "sign_module",
     "verify_signature",
 ]

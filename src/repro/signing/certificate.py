@@ -1,0 +1,70 @@
+"""Verification certificates: the static-verifier analogue of a signature.
+
+A certificate records what the load-time verifier (`repro.passes.absint`)
+proved about a module *against a specific policy table and contract set*:
+per-guard-site verdict bits, the policy digest/epoch the verdicts were
+computed under, and the digest of the trusted contracts used.  It travels
+alongside the PR 3 HMAC signature in :class:`CompiledModule`.
+
+The kernel never trusts a certificate by itself.  At insmod it checks
+that the certificate's IR digest matches the module being loaded, that
+the policy digest matches the *live* table, that the contract digest
+matches the kernel's registered contracts — and then re-runs the
+deterministic analysis and compares verdict-for-verdict.  A certificate
+can therefore only ever *lose* elisions (stale/tampered → demoted to
+full dynamic guarding, or rejected under ``--verify-policy strict``);
+it can never smuggle an unsound one in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+class CertificateError(ValueError):
+    """Certificate stale, mismatched, or failing re-verification."""
+
+
+@dataclass(frozen=True)
+class VerificationCertificate:
+    """Per-guard static verdicts bound to (IR, policy, contracts)."""
+
+    module_name: str
+    #: sha256 of the module's canonical IR bytes (same serialization the
+    #: HMAC signature covers).
+    ir_digest: str
+    #: Content digest + epoch of the policy table verdicts were computed
+    #: against.  The digest detects a *different* table; the epoch
+    #: additionally detects same-content tables republished after
+    #: intervening mutations (cheap staleness token for demotion).
+    policy_digest: str
+    policy_epoch: int
+    #: Digest of the trusted contract set the analysis consumed.
+    contracts_digest: str
+    #: ``(function_name, verdict_bits)`` per defined function, guard
+    #: sites in block order — the same ordinal scheme the execution
+    #: engines use for guard site IDs.
+    verdicts: tuple[tuple[str, tuple[int, ...]], ...]
+    guards_proven: int = 0
+    guards_dynamic: int = 0
+
+    def payload(self) -> bytes:
+        lines = [
+            f"module={self.module_name}",
+            f"ir={self.ir_digest}",
+            f"policy={self.policy_digest}@{self.policy_epoch}",
+            f"contracts={self.contracts_digest}",
+        ]
+        for fn, bits in self.verdicts:
+            lines.append(f"{fn}:{''.join(str(b) for b in bits)}")
+        return "\n".join(lines).encode()
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.payload()).hexdigest()
+
+    def verdict_map(self) -> dict[str, tuple[int, ...]]:
+        return dict(self.verdicts)
+
+
+__all__ = ["CertificateError", "VerificationCertificate"]

@@ -230,13 +230,22 @@ class TraceSubsystem:
                 if not compiled.is_protected:
                     lines.append(f"{name:<12} unprotected")
                     continue
-                lines.append(
+                line = (
                     f"{name:<12} O{compiled.opt_level} "
                     f"guards={compiled.guard_count} "
                     f"removed={compiled.guards_removed} "
                     f"hoisted={compiled.guards_hoisted} "
                     f"coalesced={compiled.guards_coalesced}"
                 )
+                if compiled.is_verified:
+                    line += (
+                        f" proven={compiled.guards_proven}"
+                        f" dynamic={compiled.guards_dynamic}"
+                        f" elided={len(mod.elided_guards)}"
+                    )
+                if mod.verify_state:
+                    line += f" verify={mod.verify_state}"
+                lines.append(line)
         irq = getattr(self.kernel, "irq", None)
         if irq is not None:
             lines += ["", "[irq]"]

@@ -560,6 +560,15 @@ class _Translator:
             return
         if kind is Call:
             if inst.is_guard or inst.callee.name == abi.GUARD_SYMBOL:
+                if id(inst) in self.module.elided_guards:
+                    # Statically proven in-policy at insmod (-O3): emit
+                    # no code at all.  The ordinal still advances so
+                    # guard-site IDs stay aligned with the interpreter's
+                    # walk, and the missing line changes the source text,
+                    # so the process-global translation cache can never
+                    # serve an elided body to an unverified module.
+                    self._guard_ordinal += 1
+                    return
                 # Guard calls bypass add_op/profiler (charged through the
                 # guard cost only, like the interpreter) — no charge lines.
                 body.append(f"{self._bind('C', self._guard_core(inst))}(r)")

@@ -8,22 +8,33 @@ global memory — and an identical deny set vs the faithful
 optimizer exists to shrink, so they may only depend on the opt level,
 never on the engine or CPU count.
 
+A second targeted grid crosses tracing on/off with every enforcement
+mode (audit/panic/eject/isolate): what a deny *does* must be identical
+at every opt level — -O3's static elision in particular may never hide
+a violation or change which enforcement action fires.
+
 Seeds the ROADMAP roundtrip-harness item: the grid is the oracle any
 future backend must also satisfy.
 """
 
+import itertools
+
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core.pipeline import CompileOptions, compile_module
 from repro.kernel import Kernel
+from repro.vm.interp import GuardViolation
+
 from repro.policy import CaratPolicyModule, PolicyManager
 
 _M64 = (1 << 64) - 1
 
-OPT_LEVELS = (0, 1, 2)
+OPT_LEVELS = (0, 1, 2, 3)
 ENGINES = ("interp", "compiled")
 CPUS = (1, 2, 4)
+MODES = ("audit", "panic", "eject", "isolate")
 
 
 @st.composite
@@ -89,7 +100,11 @@ def _run_cell(source, n_slots, seeds, opt_level, engine, cpus):
     PolicyManager(kernel).set_default(True)  # allow-everything
     compiled = compile_module(
         source,
-        CompileOptions(module_name="prog", protect=True, opt_level=opt_level),
+        CompileOptions(
+            module_name="prog", protect=True, opt_level=opt_level,
+            # -O3 proves against the live (default-allow) table.
+            verify_table=policy.index if opt_level >= 3 else None,
+        ),
     )
     loaded = kernel.insmod(compiled)
     results = [kernel.run_function(loaded, "run", [s & _M64]) for s in seeds]
@@ -120,6 +135,7 @@ def test_grid_state_identical(program, seeds):
     # The optimizer must never ADD runtime guard work.
     assert checks_by_level[1] <= checks_by_level[0]
     assert checks_by_level[2] <= checks_by_level[1]
+    assert checks_by_level[3] <= checks_by_level[2]
 
 
 @settings(max_examples=10, deadline=None)
@@ -132,16 +148,86 @@ def test_deny_visibility_is_preserved(program, seed):
     denied = {}
     for opt_level in OPT_LEVELS:
         kernel = Kernel()
-        CaratPolicyModule(kernel, mode="audit").install()  # empty: deny all
+        policy = CaratPolicyModule(kernel, mode="audit").install()  # deny all
         compiled = compile_module(
             source,
-            CompileOptions(module_name="prog", protect=True,
-                           opt_level=opt_level),
+            CompileOptions(
+                module_name="prog", protect=True, opt_level=opt_level,
+                verify_table=policy.index if opt_level >= 3 else None,
+            ),
         )
         loaded = kernel.insmod(compiled)
         kernel.run_function(loaded, "run", [seed])
-        policy = kernel.devices.get("/dev/carat")
         denied[opt_level] = policy.stats.denied
     assert denied[0] > 0  # the generated programs always touch memory
     assert denied[1] > 0
     assert denied[2] > 0
+    # Under deny-all the -O3 verifier can prove nothing: every guard
+    # stays dynamic and the deny set stays visible.
+    assert denied[3] > 0
+
+
+# A fixed program for the mode/trace grid: a few stores and loads, all
+# of which trip an empty default-deny policy at the first guard.
+_TRIP_SOURCE = """
+long state[4];
+__export long poke(long seed) {
+    state[0] = seed;
+    state[1] = state[0] + 7;
+    state[2] = state[1] * 3;
+    state[3] = state[0] ^ state[2];
+    return state[3];
+}
+"""
+
+
+def _run_mode_cell(opt_level, mode, trace_on, engine="compiled"):
+    """Run the tripwire program under one enforcement mode; returns
+    (outcome, denied, violation_faults, entry_refusals)."""
+    kernel = Kernel(engine=engine)
+    policy = CaratPolicyModule(kernel, mode=mode).install()  # deny all
+    if trace_on:
+        kernel.trace.enable()
+    else:
+        kernel.trace.disable()
+    compiled = compile_module(
+        _TRIP_SOURCE,
+        CompileOptions(
+            module_name="trip", protect=True, opt_level=opt_level,
+            verify_table=policy.index if opt_level >= 3 else None,
+        ),
+    )
+    loaded = kernel.insmod(compiled)
+    try:
+        rc = kernel.run_function(loaded, "poke", [41])
+        outcome = ("returned", rc)
+    except GuardViolation:
+        outcome = ("panic", None)
+    return (
+        outcome, policy.stats.denied, kernel.violation_faults,
+        kernel.entry_refusals,
+    )
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("trace_on", (False, True))
+def test_mode_trace_grid(mode, trace_on):
+    """Deny *behaviour* — the enforcement action taken, the number of
+    violation faults, and whether the module answers afterwards — is a
+    function of the enforcement mode alone: identical at every opt
+    level (including -O3 elision) and with tracing on or off."""
+    baseline = _run_mode_cell(0, mode, trace_on, engine="interp")
+    for opt_level, engine in itertools.product(OPT_LEVELS, ENGINES):
+        cell = _run_mode_cell(opt_level, mode, trace_on, engine)
+        label = f"-O{opt_level}/{engine}/{mode}/trace={trace_on}"
+        assert cell[0] == baseline[0], f"{label}: outcome differs"
+        assert cell[2] == baseline[2], f"{label}: fault count differs"
+        assert cell[1] > 0, f"{label}: deny was hidden"
+    # Sanity: the mode dispatch actually differs where it should.
+    if mode == "audit":
+        assert baseline[0][0] == "returned" and baseline[0][1] not in (None,)
+    elif mode == "panic":
+        assert baseline[0] == ("panic", None)
+    else:  # eject / isolate return -EFAULT through the graceful path
+        assert baseline[0][0] == "returned"
+        assert baseline[2] == 1

@@ -249,3 +249,97 @@ class TestLiveSystemBothEngines:
         assert stats["denied"] == 0
         assert stats["checks"] == stats["allowed"]
         assert system.policy.replica_refreshes == 0
+
+
+class TestVerifyEpochDemotion:
+    """PR-7 regression: every policy-mutation ioctl must also demote
+    loaded -O3 modules whose verification certificates the mutation
+    invalidated — a stale elision set is a policy bypass, exactly like
+    a stale guard-decision cache (the two tests above)."""
+
+    SOURCE = """
+    long cells[4];
+    __export long run(long seed) {
+        cells[0] = seed;
+        cells[1] = cells[0] + 1;
+        return cells[1];
+    }
+    """
+
+    def _loaded_o3(self, ncpus=1):
+        from repro.core.pipeline import CompileOptions, compile_module
+        from repro.passes.absint import AREAS
+
+        kernel, policy, manager = _audit_policy(ncpus)
+        lo, hi = AREAS["module"]
+        manager.allow(lo, hi - lo + 1)
+        manager.set_default(False)
+        compiled = compile_module(
+            self.SOURCE,
+            CompileOptions(module_name="prog", protect=True, opt_level=3,
+                           verify_table=policy.index),
+        )
+        loaded = kernel.insmod(compiled)
+        assert loaded.elided_guards, "setup: nothing was elided"
+        return kernel, policy, manager, loaded
+
+    @pytest.mark.parametrize("mutate", [
+        lambda m: m.add_region(0x3000_0000, 0x1000,
+                               abi.FLAG_READ | abi.FLAG_WRITE),
+        lambda m: m.set_default(True),
+        lambda m: m.clear(),
+        lambda m: m.add_region_for("prog", 0x3000_0000, 0x1000,
+                                   abi.FLAG_READ | abi.FLAG_WRITE),
+    ], ids=["add_region", "set_default", "clear", "add_region_for"])
+    def test_every_mutating_ioctl_demotes(self, mutate):
+        kernel, policy, manager, loaded = self._loaded_o3()
+        mutate(manager)
+        assert not loaded.elided_guards
+        assert loaded.verify_state.startswith("demoted")
+        assert kernel.verify_demotions >= 1
+
+    def test_remove_region_demotes(self):
+        from repro.passes.absint import AREAS
+
+        kernel, policy, manager, loaded = self._loaded_o3()
+        lo, hi = AREAS["module"]
+        assert manager.remove_region(lo, hi - lo + 1)
+        assert not loaded.elided_guards
+
+    @pytest.mark.parametrize("engine", ["interp", "compiled"])
+    def test_deny_visibility_restored_after_demotion(self, engine):
+        """The whole point: after the allow region is removed, the
+        previously-elided guards run dynamically again and the deny
+        is observed — on both engines (the compiled engine must also
+        drop its translated bodies)."""
+        from repro.core.pipeline import CompileOptions, compile_module
+        from repro.passes.absint import AREAS
+
+        kernel = Kernel(engine=engine)
+        policy = CaratPolicyModule(kernel, enforce=False).install()
+        manager = PolicyManager(kernel)
+        lo, hi = AREAS["module"]
+        manager.allow(lo, hi - lo + 1)
+        manager.set_default(False)
+        compiled = compile_module(
+            self.SOURCE,
+            CompileOptions(module_name="prog", protect=True, opt_level=3,
+                           verify_table=policy.index),
+        )
+        loaded = kernel.insmod(compiled)
+        kernel.run_function(loaded, "run", [1])
+        checks_elided = policy.stats.checks
+        manager.remove_region(lo, hi - lo + 1)  # now everything denies
+        assert not loaded.elided_guards
+        kernel.run_function(loaded, "run", [2])
+        assert policy.stats.checks > checks_elided
+        assert policy.stats.denied > 0, "deny stayed hidden after demotion"
+
+    def test_run_function_catches_direct_index_mutation(self):
+        """A mutation that bypasses the ioctl path entirely is still
+        caught by the staleness token before any elided site runs."""
+        kernel, policy, manager, loaded = self._loaded_o3()
+        policy.index.clear()  # no publish, no on_policy_mutated()
+        kernel.run_function(loaded, "run", [3])
+        assert not loaded.elided_guards
+        assert loaded.verify_state.startswith("demoted")
