@@ -320,6 +320,104 @@ def soak_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def policyd_main(argv: list[str] | None = None) -> int:
+    """Run the multi-tenant control-plane service/benchmark."""
+    import json
+
+    from .policy.policyd import chaos_injector, run_policyd
+
+    ap = argparse.ArgumentParser(
+        prog="caratkop-policyd",
+        description=(
+            "drive N tenants of transactional batch mutations and staged "
+            "canary rollouts against one simulated kernel, optionally with "
+            "every control-plane fault hook armed; digests the guard-visible "
+            "policy state so chaos runs can be proven identical to clean runs"
+        ),
+    )
+    ap.add_argument("--tenants", type=int, default=4)
+    ap.add_argument("--regions", type=int, default=1024,
+                    help="total regions across tenants")
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--batch-ops", type=int, default=16,
+                    help="mutations per transactional batch")
+    ap.add_argument(
+        "--engine", default="compiled", choices=["interp", "compiled"],
+    )
+    ap.add_argument("--cpus", type=int, default=1)
+    ap.add_argument(
+        "--machine", default=None, choices=["r350", "r415"],
+        help="machine model (default: untimed functional run)",
+    )
+    ap.add_argument(
+        "--policy-index", default=None, choices=["linear", "interval"],
+    )
+    ap.add_argument("--chaos", action="store_true",
+                    help="arm all five control-plane fault hooks")
+    ap.add_argument(
+        "--compare-clean", action="store_true",
+        help="also run fault-free and assert both digests are identical "
+             "(exits nonzero on divergence)",
+    )
+    ap.add_argument("--report", metavar="FILE",
+                    help="write the JSON report here")
+    args = ap.parse_args(argv)
+
+    def one(injector):
+        return run_policyd(
+            tenants=args.tenants, regions=args.regions, rounds=args.rounds,
+            batch_ops=args.batch_ops, engine=args.engine, cpus=args.cpus,
+            machine=args.machine, policy_index=args.policy_index,
+            injector=injector,
+        )
+
+    report = one(chaos_injector() if args.chaos else None)
+    status = 0
+    if args.compare_clean:
+        clean = one(None)
+        report["clean"] = {
+            "settled_digest": clean["settled_digest"],
+            "full_digest": clean["full_digest"],
+            "generation": clean["generation"],
+            "rollbacks": clean["rollbacks"],
+        }
+        same = (report["settled_digest"] == clean["settled_digest"]
+                and report["full_digest"] == clean["full_digest"])
+        report["chaos_equals_clean"] = same
+        if not same:
+            print("FAILED: chaos run diverged from fault-free run",
+                  file=sys.stderr)
+            status = 1
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+    print(
+        f"policyd: {report['tenants']}+1 tenants, "
+        f"{report['composed_regions']} composed regions, "
+        f"gen {report['generation']} "
+        f"({report['promotions']} promotions, "
+        f"{report['rollbacks']} rollbacks)"
+    )
+    print(
+        f"publish path: {report['publish_retries']} retries, "
+        f"{report['publish_failures']} exhaustions, "
+        f"{report['replica_repairs']} replica repairs, "
+        f"divergence {report['replica_divergence']}"
+    )
+    if report.get("injector"):
+        inj = report["injector"]
+        print(
+            f"faults injected: {inj['dropped_publishes']} dropped publishes, "
+            f"{inj['stalled_publishes']} stalls, "
+            f"{inj['corrupted_replicas']} corruptions, "
+            f"{inj['torn_batches']} torn batches, "
+            f"{inj['quota_race_storms']} quota races"
+        )
+    print(f"settled digest: {report['settled_digest'][:16]}…"
+          + (" (chaos==clean)" if report.get("chaos_equals_clean") else ""))
+    return status
+
+
 def bench_main(argv: list[str] | None = None) -> int:
     """Regenerate paper figures."""
     from .bench import ALL_FIGURES, render_figure

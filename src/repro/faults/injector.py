@@ -19,6 +19,23 @@ a system without an attached injector pays nothing):
 - :meth:`drop_irq` — swallow every Nth interrupt (lost edge).
 - :meth:`xmit_transient` — the netdev layer reports EBUSY before even
   reaching the driver (qdisc backpressure).
+
+Control-plane hooks (consumed by
+:class:`repro.policy.controlplane.PolicyControlPlane`):
+
+- :meth:`drop_publish` — every Nth per-CPU replica install silently
+  fails (the slot keeps its old generation), forcing the publish
+  watchdog to detect the partial publish and retry.
+- :meth:`publish_stall` — every Nth grace-period wait stalls (the
+  ``synchronize_rcu`` analog never completes for that attempt).
+- :meth:`corrupt_replica` — every Nth successfully installed slot holds
+  a torn payload under a valid generation stamp; the guard-side read
+  path must detect and repair it before serving any decision.
+- :meth:`torn_batch` — every Nth batch op dies mid-apply, exercising the
+  journal's all-or-nothing rollback.
+- :meth:`quota_race` — every Nth applied batch is immediately replayed
+  by a simulated racing writer that must lose cleanly (quota/overlap
+  errno) without perturbing state.
 """
 
 from __future__ import annotations
@@ -46,12 +63,22 @@ class FaultInjector:
         dma_stall_cycles: float = 50_000.0,
         irq_drop_period: int = 0,
         xmit_fail_period: int = 0,
+        publish_drop_period: int = 0,
+        publish_stall_period: int = 0,
+        replica_corrupt_period: int = 0,
+        torn_batch_period: int = 0,
+        quota_race_period: int = 0,
     ):
         for name, period in (
             ("mmio_garble_period", mmio_garble_period),
             ("dma_stall_period", dma_stall_period),
             ("irq_drop_period", irq_drop_period),
             ("xmit_fail_period", xmit_fail_period),
+            ("publish_drop_period", publish_drop_period),
+            ("publish_stall_period", publish_stall_period),
+            ("replica_corrupt_period", replica_corrupt_period),
+            ("torn_batch_period", torn_batch_period),
+            ("quota_race_period", quota_race_period),
         ):
             if period < 0:
                 raise ValueError(f"{name} must be >= 0")
@@ -60,16 +87,31 @@ class FaultInjector:
         self._dma_stall_cycles = float(dma_stall_cycles)
         self.irq_drop_period = irq_drop_period
         self.xmit_fail_period = xmit_fail_period
+        self.publish_drop_period = publish_drop_period
+        self.publish_stall_period = publish_stall_period
+        self.replica_corrupt_period = replica_corrupt_period
+        self.torn_batch_period = torn_batch_period
+        self.quota_race_period = quota_race_period
         # Eligible-event counters (the deterministic schedules).
         self._telemetry_reads = 0
         self._dma_frames = 0
         self._irqs = 0
         self._xmits = 0
+        self._publish_installs = 0
+        self._grace_waits = 0
+        self._replica_installs = 0
+        self._batch_ops = 0
+        self._batches_applied = 0
         # Injected-fault counters for the report.
         self.garbled_reads = 0
         self.stalled_frames = 0
         self.dropped_irqs = 0
         self.failed_xmits = 0
+        self.dropped_publishes = 0
+        self.stalled_publishes = 0
+        self.corrupted_replicas = 0
+        self.torn_batches = 0
+        self.quota_race_storms = 0
         # fault:inject tracepoint, bound by attach() (None while detached).
         self._tp = None
 
@@ -124,6 +166,63 @@ class FaultInjector:
             return True
         return False
 
+    # -- control-plane hooks -------------------------------------------------
+
+    def drop_publish(self, cpu: int) -> bool:
+        """True = this per-CPU replica install is silently lost."""
+        if self.publish_drop_period == 0:
+            return False
+        self._publish_installs += 1
+        if self._publish_installs % self.publish_drop_period == 0:
+            self.dropped_publishes += 1
+            self._emit("publish_drop", cpu=cpu)
+            return True
+        return False
+
+    def publish_stall(self) -> bool:
+        """True = this grace-period wait stalls (watchdog must retry)."""
+        if self.publish_stall_period == 0:
+            return False
+        self._grace_waits += 1
+        if self._grace_waits % self.publish_stall_period == 0:
+            self.stalled_publishes += 1
+            self._emit("publish_stall")
+            return True
+        return False
+
+    def corrupt_replica(self, cpu: int) -> bool:
+        """True = tear this freshly installed replica's payload."""
+        if self.replica_corrupt_period == 0:
+            return False
+        self._replica_installs += 1
+        if self._replica_installs % self.replica_corrupt_period == 0:
+            self.corrupted_replicas += 1
+            self._emit("replica_corrupt", cpu=cpu)
+            return True
+        return False
+
+    def torn_batch(self) -> bool:
+        """True = fail the batch at this op (mid-transaction tear)."""
+        if self.torn_batch_period == 0:
+            return False
+        self._batch_ops += 1
+        if self._batch_ops % self.torn_batch_period == 0:
+            self.torn_batches += 1
+            self._emit("torn_batch")
+            return True
+        return False
+
+    def quota_race(self) -> bool:
+        """True = replay this applied batch as a racing duplicate."""
+        if self.quota_race_period == 0:
+            return False
+        self._batches_applied += 1
+        if self._batches_applied % self.quota_race_period == 0:
+            self.quota_race_storms += 1
+            self._emit("quota_race")
+            return True
+        return False
+
     # -- wiring --------------------------------------------------------------
 
     def attach(self, system) -> "FaultInjector":
@@ -149,6 +248,11 @@ class FaultInjector:
             "stalled_frames": self.stalled_frames,
             "dropped_irqs": self.dropped_irqs,
             "failed_xmits": self.failed_xmits,
+            "dropped_publishes": self.dropped_publishes,
+            "stalled_publishes": self.stalled_publishes,
+            "corrupted_replicas": self.corrupted_replicas,
+            "torn_batches": self.torn_batches,
+            "quota_race_storms": self.quota_race_storms,
         }
 
 

@@ -123,69 +123,40 @@ def run_soak(
         if not condition:
             raise SoakError(message, report)
 
-    for cycle in range(cycles):
-        if cycle > 0:
-            check(
-                system.policy_manager.unquarantine(HOSTILE_NAME),
-                f"cycle {cycle}: quarantine was not in place to lift",
-            )
-        alloc_base = kernel.kmalloc_allocator.snapshot()
-        irq_base = len(kernel.irq._actions)
-        timer_base = kernel.timers.pending()
-
-        loaded = kernel.insmod(hostile)
-        check(
-            kernel.journal.depth(HOSTILE_NAME) >= 4,
-            f"cycle {cycle}: journal missed the module's side effects",
+    def cycle_failed(cycle: int, exc: Exception) -> SoakError:
+        """A cycle died mid-rollback (eject/unwind raised through).  Drain
+        whatever the journal still holds, verify the drain took, and turn
+        the crash into a structured nonzero exit instead of a traceback."""
+        drained_modules = 0
+        drained_records = 0
+        for module in kernel.journal.modules():
+            drained_records += kernel.journal.depth(module)
+            kernel.journal.rollback(module, kernel)
+            drained_modules += 1
+        report["error"] = {
+            "cycle": cycle,
+            "type": type(exc).__name__,
+            "detail": str(exc),
+            "journal_drained_modules": drained_modules,
+            "journal_drained_records": drained_records,
+            "journal_empty_after_drain": not kernel.journal.modules(),
+        }
+        return SoakError(
+            f"cycle {cycle} failed mid-rollback "
+            f"({type(exc).__name__}: {exc}); journal drained "
+            f"({drained_modules} module(s), {drained_records} record(s), "
+            f"empty={report['error']['journal_empty_after_drain']})",
+            report,
         )
 
-        rc = kernel.run_function(loaded, "attack", [ATTACK_ADDR])
-        check(rc == -_EFAULT,
-              f"cycle {cycle}: attack returned {rc}, wanted -EFAULT")
-        check(HOSTILE_NAME not in kernel.lsmod(),
-              f"cycle {cycle}: module still resident after eject")
-        check(loaded.ejected, f"cycle {cycle}: eject flag not set")
-        check(kernel.panicked is None,
-              f"cycle {cycle}: kernel panicked ({kernel.panicked})")
-
-        alloc_now = kernel.kmalloc_allocator.snapshot()
-        leaked = alloc_now[1] - alloc_base[1]
-        check(leaked == 0, f"cycle {cycle}: leaked {leaked} kmalloc bytes")
-        check(alloc_now[0] == alloc_base[0],
-              f"cycle {cycle}: leaked allocations "
-              f"({alloc_now[0] - alloc_base[0]})")
-        check(len(kernel.irq._actions) == irq_base,
-              f"cycle {cycle}: orphaned IRQ lines")
-        check(kernel.timers.pending() == timer_base,
-              f"cycle {cycle}: orphaned timers")
-        check(kernel.journal.depth(HOSTILE_NAME) == 0,
-              f"cycle {cycle}: journal not drained")
-
-        if cycle == 0:
-            # The quarantine must hold until explicitly lifted.
-            try:
-                kernel.insmod(hostile)
-            except LoadError:
-                pass
-            else:
-                check(False, "quarantined module was allowed back in")
-
-        sunk_before = system.sink.packets
-        system.blast(size=blast_size, count=blast_count)
-        delivered = system.sink.packets - sunk_before
-        check(delivered == blast_count,
-              f"cycle {cycle}: driver moved {delivered}/{blast_count} frames")
-        report["delivered_frames"] += delivered
-
-        report["ejections"] += 1
-        report["cycles_completed"] = cycle + 1
-        report["per_cycle"].append({
-            "cycle": cycle,
-            "rc": rc,
-            "leaked_bytes": leaked,
-            "delivered": delivered,
-            "rollback": kernel.journal.rollbacks[-1],
-        })
+    for cycle in range(cycles):
+        try:
+            _run_cycle(cycle, system, kernel, hostile, report, check,
+                       blast_size, blast_count)
+        except SoakError:
+            raise
+        except Exception as e:
+            raise cycle_failed(cycle, e) from e
 
     report["violation_faults"] = kernel.violation_faults
     report["entry_refusals"] = kernel.entry_refusals
@@ -194,6 +165,73 @@ def run_soak(
     report["guard_stats"] = system.guard_stats()
     injector.detach(system)
     return report
+
+
+def _run_cycle(cycle, system, kernel, hostile, report, check,
+               blast_size, blast_count) -> None:
+    """One violation->eject->recovery cycle (invariants via ``check``)."""
+    if cycle > 0:
+        check(
+            system.policy_manager.unquarantine(HOSTILE_NAME),
+            f"cycle {cycle}: quarantine was not in place to lift",
+        )
+    alloc_base = kernel.kmalloc_allocator.snapshot()
+    irq_base = len(kernel.irq._actions)
+    timer_base = kernel.timers.pending()
+
+    loaded = kernel.insmod(hostile)
+    check(
+        kernel.journal.depth(HOSTILE_NAME) >= 4,
+        f"cycle {cycle}: journal missed the module's side effects",
+    )
+
+    rc = kernel.run_function(loaded, "attack", [ATTACK_ADDR])
+    check(rc == -_EFAULT,
+          f"cycle {cycle}: attack returned {rc}, wanted -EFAULT")
+    check(HOSTILE_NAME not in kernel.lsmod(),
+          f"cycle {cycle}: module still resident after eject")
+    check(loaded.ejected, f"cycle {cycle}: eject flag not set")
+    check(kernel.panicked is None,
+          f"cycle {cycle}: kernel panicked ({kernel.panicked})")
+
+    alloc_now = kernel.kmalloc_allocator.snapshot()
+    leaked = alloc_now[1] - alloc_base[1]
+    check(leaked == 0, f"cycle {cycle}: leaked {leaked} kmalloc bytes")
+    check(alloc_now[0] == alloc_base[0],
+          f"cycle {cycle}: leaked allocations "
+          f"({alloc_now[0] - alloc_base[0]})")
+    check(len(kernel.irq._actions) == irq_base,
+          f"cycle {cycle}: orphaned IRQ lines")
+    check(kernel.timers.pending() == timer_base,
+          f"cycle {cycle}: orphaned timers")
+    check(kernel.journal.depth(HOSTILE_NAME) == 0,
+          f"cycle {cycle}: journal not drained")
+
+    if cycle == 0:
+        # The quarantine must hold until explicitly lifted.
+        try:
+            kernel.insmod(hostile)
+        except LoadError:
+            pass
+        else:
+            check(False, "quarantined module was allowed back in")
+
+    sunk_before = system.sink.packets
+    system.blast(size=blast_size, count=blast_count)
+    delivered = system.sink.packets - sunk_before
+    check(delivered == blast_count,
+          f"cycle {cycle}: driver moved {delivered}/{blast_count} frames")
+    report["delivered_frames"] += delivered
+
+    report["ejections"] += 1
+    report["cycles_completed"] = cycle + 1
+    report["per_cycle"].append({
+        "cycle": cycle,
+        "rc": rc,
+        "leaked_bytes": leaked,
+        "delivered": delivered,
+        "rollback": kernel.journal.rollbacks[-1],
+    })
 
 
 __all__ = ["ATTACK_ADDR", "HOSTILE_MODULE", "HOSTILE_NAME", "SoakError",

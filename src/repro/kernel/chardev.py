@@ -34,10 +34,15 @@ class IoctlError(OSError):
 # A few errno values, so callers can assert on them.
 EPERM = 1
 ENOENT = 2
+EIO = 5
+EAGAIN = 11
+EBUSY = 16
+EEXIST = 17
 EINVAL = 22
 ENOSPC = 28
 ENOTTY = 25
 EFAULT = 14
+EDQUOT = 122
 
 
 class CharDevice(Protocol):

@@ -22,8 +22,13 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Kernel
 
-#: Record kinds, in the order /proc/journal reports them.
-KINDS = ("kmalloc", "irq", "timer", "symbol", "chardev")
+#: Record kinds, in the order /proc/journal reports them.  ``policy``
+#: records are the control plane's generalization: instead of a kernel
+#: resource keyed by handle, they carry their own ``undo`` callable
+#: (the inverse of one policy mutation), so a torn batch or a staged
+#: generation can be withdrawn through exactly the same rollback path
+#: that module ejection uses.
+KINDS = ("kmalloc", "irq", "timer", "symbol", "chardev", "policy")
 
 
 class TransactionJournal:
@@ -96,6 +101,7 @@ class TransactionJournal:
             "timers": 0,
             "symbols": 0,
             "chardevs": 0,
+            "policy_ops": 0,
         }
         allocator = kernel.kmalloc_allocator
         symbols_to_retire = False
@@ -121,6 +127,11 @@ class TransactionJournal:
             elif kind == "chardev":
                 kernel.devices.unregister(key)
                 summary["chardevs"] += 1
+            elif kind == "policy":
+                undo = _info.get("undo")
+                if undo is not None:
+                    undo()
+                summary["policy_ops"] += 1
         if symbols_to_retire:
             kernel.retire_symbols(module)
         self._records.pop(module, None)

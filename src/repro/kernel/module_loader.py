@@ -314,6 +314,18 @@ class ModuleLoader:
             return invalid("policy table changed since certification")
         if table.epoch != cert.policy_epoch:
             return invalid("stale policy epoch")
+        cp = policy.controlplane
+        if cp is not None and any(
+            len(t.table) for t in cp.tenants.values()
+        ):
+            # The guard enforces the tenant-composed policy, but the
+            # certificate only proves the system namespace: a tenant
+            # region (first-match priority) could deny what the master
+            # table allows, so elision would be unsound.
+            return invalid(
+                "policy is tenant-composed; certificate proves the "
+                "system namespace only"
+            )
         contracts = kernel.verify_contracts
         if (contracts or EMPTY_CONTRACTS).digest() != cert.contracts_digest:
             return invalid("contract set mismatch")
@@ -323,7 +335,10 @@ class ModuleLoader:
         loaded.elided_guards = elidable_guard_ids(
             compiled.ir, report.proven_map()
         )
-        loaded.verify_token = (table.epoch, table.default_allow)
+        loaded.verify_token = (
+            table.epoch, table.default_allow,
+            None if cp is None else cp.generation,
+        )
         loaded.verify_state = "verified"
 
     def _unwind_mapping(self, loaded: LoadedModule) -> None:

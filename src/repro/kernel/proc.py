@@ -161,6 +161,11 @@ class ProcFS:
             lines.append(f"isolated: {name}")
         for name, reason in kernel.quarantined():
             lines.append(f"quarantined: {name} ({reason})")
+        # Control-plane section: generation, staged canary, per-tenant
+        # quota usage and rollback history (absent without one attached).
+        cp = getattr(policy, "controlplane", None)
+        if cp is not None:
+            lines.append(cp.describe())
         lines.append(policy.index.describe()
                      if hasattr(policy.index, "describe")
                      else f"regions: {len(policy.index)}")

@@ -1,5 +1,14 @@
 """Policy: region tables, alternative indexes, the policy module, manager."""
 
+from .controlplane import (
+    OP_ADD,
+    OP_DEL,
+    ControlPlaneConfig,
+    ControlPlaneError,
+    PolicyControlPlane,
+    Tenant,
+    TenantQuota,
+)
 from .manager import PolicyManager
 from .miner import AccessRecord, MinedPolicy, PolicyMiner
 from .module import (
@@ -34,6 +43,8 @@ __all__ = [
     "BloomFilter",
     "CachedIndex",
     "CaratPolicyModule",
+    "ControlPlaneConfig",
+    "ControlPlaneError",
     "Decision",
     "IntervalRegionTable",
     "IntervalTableReplica",
@@ -44,11 +55,16 @@ __all__ = [
     "MODE_EJECT",
     "MODE_ISOLATE",
     "MODE_PANIC",
+    "OP_ADD",
+    "OP_DEL",
     "OverlapError",
+    "PolicyControlPlane",
     "PolicyManager",
     "PolicyStats",
     "PolicyTableFull",
     "Region",
+    "Tenant",
+    "TenantQuota",
     "RegionTable",
     "RegionTableReplica",
     "STRUCTURES",

@@ -156,6 +156,56 @@ class PolicyManager:
         )
         return bool(struct.unpack("<I", out)[0])
 
+    # -- control plane (multi-tenant namespaces, staged rollout) --------------
+
+    def create_tenant(self, name: str, max_regions: int = 256,
+                      max_mutations_per_window: int = 1024,
+                      violation_budget: int = 64) -> None:
+        """Create a policy namespace with quotas (requires an attached
+        control plane)."""
+        self._ioctl(
+            pm.CMD_TENANT_CREATE,
+            self._packed_name(name) + struct.pack(
+                "<III", max_regions, max_mutations_per_window,
+                violation_budget,
+            ),
+        )
+
+    def delete_tenant(self, name: str) -> None:
+        self._ioctl(pm.CMD_TENANT_DELETE, self._packed_name(name))
+
+    def batch_mutate(self, name: str, ops: list[tuple]) -> int:
+        """Submit a transactional batch of ``(kind, base, length, prot)``
+        ops (kind 0 = add, 1 = del) for tenant ``name``.  All-or-nothing;
+        returns the staged generation number."""
+        payload = self._packed_name(name) + struct.pack("<I", len(ops))
+        for kind, base, length, prot in ops:
+            payload += struct.pack("<IQQI", kind, base, length, prot)
+        out = self._ioctl(pm.CMD_BATCH_MUTATE, payload)
+        return struct.unpack("<Q", out)[0]
+
+    def tenant_stats(self, name: str) -> dict[str, int]:
+        out = self._ioctl(pm.CMD_TENANT_STATS, self._packed_name(name))
+        fields = (
+            "generation", "regions", "batches_applied", "batches_promoted",
+            "batches_rejected", "rollbacks", "quota_denials",
+            "overlap_rejections", "mutations_window",
+        )
+        return dict(zip(fields, struct.unpack("<QQQQQQQQQ", out)))
+
+    def cp_status(self) -> dict[str, int]:
+        out = self._ioctl(pm.CMD_CP_STATUS)
+        fields = (
+            "generation", "staged_generation", "tenants", "promotions",
+            "rollbacks", "publishes", "publish_retries", "replica_repairs",
+        )
+        return dict(zip(fields, struct.unpack("<QQQQQQQQ", out)))
+
+    def cp_tick(self) -> int:
+        """Advance the control plane one tick; returns 0 (no change),
+        1 (staged generation promoted) or 2 (auto-rolled back)."""
+        return struct.unpack("<I", self._ioctl(pm.CMD_CP_TICK))[0]
+
     # -- convenience policies -------------------------------------------------
 
     def allow(self, base: int, length: int, read: bool = True,

@@ -22,7 +22,7 @@ import struct
 from typing import Optional
 
 from .. import abi
-from ..kernel.chardev import EINVAL, ENOSPC, ENOTTY, EPERM, IoctlError
+from ..kernel.chardev import EEXIST, EINVAL, ENOSPC, ENOTTY, EPERM, IoctlError
 from ..kernel.kernel import Kernel
 from ..kernel.panic import ViolationFault
 from ..kernel.smp import PerCpu
@@ -59,8 +59,20 @@ CMD_TRACE_ENABLE = 0xC0DE0015   # arg: empty
 CMD_TRACE_DISABLE = 0xC0DE0016  # arg: empty
 CMD_TRACE_SNAPSHOT = 0xC0DE0017  # arg: empty -> u64 stored, lost, total
 CMD_TRACE_RESET = 0xC0DE0018    # arg: empty
+# Control-plane ioctls (multi-tenant namespaces + staged rollout; see
+# repro.policy.controlplane).  All require an attached control plane.
+CMD_TENANT_CREATE = 0xC0DE0020  # 32-byte name + u32 x3 quota
+CMD_TENANT_DELETE = 0xC0DE0021  # 32-byte name
+CMD_BATCH_MUTATE = 0xC0DE0022   # 32-byte name + u32 count + ops -> u64 gen
+CMD_TENANT_STATS = 0xC0DE0023   # 32-byte name -> u64 x9
+CMD_CP_STATUS = 0xC0DE0024      # empty -> u64 x8
+CMD_CP_TICK = 0xC0DE0025        # empty -> u32 event (0/1 promote/2 rollback)
 
 _TRACE_STAT_FMT = "<QQQ"  # stored, lost, total
+_BATCH_OP_FMT = "<IQQI"   # kind (0 add / 1 del), base, length, prot
+_TENANT_QUOTA_FMT = "<III"  # max_regions, max_mutations_per_window, budget
+_TENANT_STATS_FMT = "<QQQQQQQQQ"
+_CP_STATUS_FMT = "<QQQQQQQQ"
 
 _NAME_LEN = 32
 
@@ -194,6 +206,10 @@ class CaratPolicyModule:
         #: lock-free; ioctl mutations publish a fresh snapshot and wait a
         #: grace period before the old one is reclaimed.
         self._replicas: PerCpu = PerCpu(ncpus, lambda cpu: None)
+        #: Attached :class:`repro.policy.controlplane.PolicyControlPlane`
+        #: (``None`` = legacy single-namespace write path).  When set,
+        #: the replica read path and mutation publishes delegate to it.
+        self.controlplane = None
         self.replica_publishes = 0
         #: Lazy CPU-local rebuilds (master mutated without an RCU
         #: publish — e.g. a test poking ``policy.index`` directly).
@@ -289,6 +305,14 @@ class CaratPolicyModule:
             return self.module_modes.get(module_name, self.mode)
         return self.mode
 
+    def bump_guard_epoch(self) -> None:
+        """Invalidate every per-CPU guard-decision cache.  The control
+        plane calls this at stage/promote/rollback transitions: the
+        master table's epoch does not move when the *composed* policy a
+        CPU reads changes generation, so the enforcement epoch (already
+        part of every cache's validity token) carries the bump."""
+        self._enforce_epoch += 1
+
     # -- lifecycle ----------------------------------------------------------
 
     def install(self) -> "CaratPolicyModule":
@@ -351,6 +375,13 @@ class CaratPolicyModule:
         fresh immutable snapshot, publish it to every CPU, and reclaim
         the superseded replicas only after a full grace period (no
         reader can still hold them).  No-op for non-table indexes."""
+        if self.controlplane is not None:
+            # The control plane owns the replica surface: a master
+            # mutation is a system-namespace change that recomposes and
+            # publishes a fresh generation everywhere (preempting any
+            # staged canary), keeping legacy ioctls immediately visible.
+            self.controlplane.on_master_mutated()
+            return
         index = self.index
         if not isinstance(index, RegionTable):
             return
@@ -376,6 +407,17 @@ class CaratPolicyModule:
         if index is not self.index or not isinstance(index, RegionTable):
             return index.check(addr, size, flags)
         rcu = self.kernel.rcu
+        cp = self.controlplane
+        if cp is not None:
+            # Composed multi-tenant policy: read this CPU's
+            # generation-stamped slot (canary CPUs see the staged
+            # generation; torn/partial slots are repaired before any
+            # decision is served).
+            rcu.read_lock(cpu)
+            try:
+                return cp.replica_for(cpu).check(addr, size, flags)
+            finally:
+                rcu.read_unlock(cpu)
         rcu.read_lock(cpu)
         try:
             slot = self._replicas[cpu]
@@ -608,6 +650,16 @@ class CaratPolicyModule:
             if index is None:
                 index = RegionTable(default_allow=False)
                 self.module_indexes[name] = index
+            existing = index.overlapping(base, length)
+            if existing is not None:
+                # Namespace tables are single-writer allowlists: an
+                # overlapping add is an operator error, not a priority
+                # trick — reject it instead of leaning on first-match.
+                raise IoctlError(
+                    EEXIST,
+                    f"region [{base:#x}, +{length:#x}) overlaps "
+                    f"{existing.describe()} in {name}'s policy",
+                )
             try:
                 idx = index.add(Region(base, length, prot))
             except PolicyTableFull as e:
@@ -670,6 +722,75 @@ class CaratPolicyModule:
         if cmd == CMD_TRACE_RESET:
             self.kernel.trace.reset()
             return b""
+        if cmd in (CMD_TENANT_CREATE, CMD_TENANT_DELETE, CMD_BATCH_MUTATE,
+                   CMD_TENANT_STATS, CMD_CP_STATUS, CMD_CP_TICK):
+            return self._cp_ioctl(cmd, arg)
+        raise IoctlError(ENOTTY, f"unknown ioctl {cmd:#x}")
+
+    def _cp_ioctl(self, cmd: int, arg: bytes) -> bytes:
+        """Control-plane command dispatch (root already checked)."""
+        from .controlplane import TenantQuota
+        cp = self.controlplane
+        if cp is None:
+            raise IoctlError(ENOTTY, "no control plane attached")
+        if cmd == CMD_TENANT_CREATE:
+            want = _NAME_LEN + struct.calcsize(_TENANT_QUOTA_FMT)
+            if len(arg) != want:
+                raise IoctlError(EINVAL, f"expected {want}-byte payload")
+            name = self._decode_name(arg[:_NAME_LEN])
+            max_regions, max_rate, budget = struct.unpack(
+                _TENANT_QUOTA_FMT, arg[_NAME_LEN:]
+            )
+            if min(max_regions, max_rate) < 1:
+                raise IoctlError(EINVAL, "quota fields must be positive")
+            cp.create_tenant(name, TenantQuota(
+                max_regions=max_regions,
+                max_mutations_per_window=max_rate,
+                violation_budget=budget,
+            ))
+            return b""
+        if cmd == CMD_TENANT_DELETE:
+            cp.delete_tenant(self._decode_fixed_name(arg))
+            return b""
+        if cmd == CMD_BATCH_MUTATE:
+            head = _NAME_LEN + 4
+            op_size = struct.calcsize(_BATCH_OP_FMT)
+            if len(arg) < head:
+                raise IoctlError(EINVAL, "short batch header")
+            name = self._decode_name(arg[:_NAME_LEN])
+            (count,) = struct.unpack("<I", arg[_NAME_LEN:head])
+            if len(arg) != head + count * op_size:
+                raise IoctlError(
+                    EINVAL,
+                    f"batch declares {count} op(s) but payload holds "
+                    f"{(len(arg) - head) // op_size}",
+                )
+            ops = [
+                struct.unpack_from(_BATCH_OP_FMT, arg, head + i * op_size)
+                for i in range(count)
+            ]
+            return struct.pack("<Q", cp.submit_batch(name, ops))
+        if cmd == CMD_TENANT_STATS:
+            t = cp.tenant(self._decode_fixed_name(arg)).stats()
+            return struct.pack(
+                _TENANT_STATS_FMT, t["generation"], t["regions"],
+                t["batches_applied"], t["batches_promoted"],
+                t["batches_rejected"], t["rollbacks"], t["quota_denials"],
+                t["overlap_rejections"], t["mutations_window"],
+            )
+        if cmd == CMD_CP_STATUS:
+            if arg:
+                raise IoctlError(EINVAL, "expected empty payload")
+            s = cp.status()
+            return struct.pack(
+                _CP_STATUS_FMT, s["generation"], s["staged_generation"],
+                s["tenants"], s["promotions"], s["rollbacks"],
+                s["publishes"], s["publish_retries"], s["replica_repairs"],
+            )
+        if cmd == CMD_CP_TICK:
+            if arg:
+                raise IoctlError(EINVAL, "expected empty payload")
+            return struct.pack("<I", cp.tick())
         raise IoctlError(ENOTTY, f"unknown ioctl {cmd:#x}")
 
     @staticmethod
@@ -702,7 +823,10 @@ class CaratPolicyModule:
 __all__ = [
     "CMD_ADD_REGION",
     "CMD_ALLOW_INTRINSIC",
+    "CMD_BATCH_MUTATE",
     "CMD_CLEAR",
+    "CMD_CP_STATUS",
+    "CMD_CP_TICK",
     "CMD_COUNT",
     "CMD_DEL_REGION",
     "CMD_DENY_INTRINSIC",
@@ -714,6 +838,9 @@ __all__ = [
     "CMD_SET_ENFORCE",
     "CMD_SET_MODE",
     "CMD_SET_MODE_FOR",
+    "CMD_TENANT_CREATE",
+    "CMD_TENANT_DELETE",
+    "CMD_TENANT_STATS",
     "CMD_TRACE_DISABLE",
     "CMD_TRACE_ENABLE",
     "CMD_TRACE_RESET",

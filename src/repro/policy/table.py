@@ -173,6 +173,19 @@ class RegionTable:
         h.update(f"default={int(self.default_allow)}".encode())
         return h.hexdigest()
 
+    def overlapping(self, base: int, length: int) -> Optional[Region]:
+        """The first region whose [base, base+length) intersects the
+        given range (None if disjoint from every entry).  Namespace-scoped
+        mutation paths use this to reject overlap/duplicate adds with
+        ``-EEXIST`` instead of silently leaning on first-match priority."""
+        if length <= 0:
+            return None
+        lo, hi = base, base + length
+        for r in self._regions:
+            if r.base < hi and lo < r.base + r.length:
+                return r
+        return None
+
     def find(self, addr: int, size: int) -> Optional[Region]:
         for r in self._regions:
             if r.covers(addr, size):

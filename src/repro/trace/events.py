@@ -76,6 +76,13 @@ EVENT_SCHEMA: dict[str, tuple[str, tuple[str, ...]]] = {
     # Catastrophes and injected faults.
     "kernel:panic": ("kernel", ("reason",)),
     "fault:inject": ("fault", ("kind", "line", "offset", "cycles")),
+    # Policy control plane (multi-tenant staged rollout).
+    "cp:batch": ("cp", ("tenant", "ops", "regions")),
+    "cp:stage": ("cp", ("generation", "tenant", "canary_cpus", "regions")),
+    "cp:promote": ("cp", ("generation", "tenant", "canary_reads", "canary_ticks")),
+    "cp:rollback": ("cp", ("generation", "tenant", "reason", "policy_ops")),
+    "cp:publish_retry": ("cp", ("generation", "attempt", "backoff_us", "dropped", "stalled")),
+    "cp:replica_repair": ("cp", ("cpu", "generation", "stale_generation")),
 }
 
 

@@ -21,9 +21,17 @@ class TestSchedules:
             assert inj.dma_stall_cycles(128) == 0.0
             assert inj.drop_irq(42) is False
             assert inj.xmit_transient() is False
+            assert inj.drop_publish(0) is False
+            assert inj.publish_stall() is False
+            assert inj.corrupt_replica(0) is False
+            assert inj.torn_batch() is False
+            assert inj.quota_race() is False
         assert inj.report() == {
             "garbled_reads": 0, "stalled_frames": 0,
             "dropped_irqs": 0, "failed_xmits": 0,
+            "dropped_publishes": 0, "stalled_publishes": 0,
+            "corrupted_replicas": 0, "torn_batches": 0,
+            "quota_race_storms": 0,
         }
 
     def test_every_nth_eligible_event_faults(self):

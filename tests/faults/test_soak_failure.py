@@ -1,0 +1,75 @@
+"""S2: a soak cycle that dies *mid-rollback* must not raise through.
+
+``caratkop-soak`` turns the crash into a structured nonzero exit: the
+kernel journal is drained (every module's pending side effects rolled
+back), the drain is verified, and the report carries a machine-readable
+``error`` block instead of a traceback.
+"""
+
+import pytest
+
+from repro.faults import run_soak
+from repro.faults.soak import SoakError
+from repro.kernel.kernel import Kernel
+
+
+class TestCycleCrashIsStructured:
+    def _crash_once(self, monkeypatch, exc):
+        """Make the first eject of the run raise (the rollback machinery
+        itself failing — exactly the mid-rollback crash S2 describes)."""
+        calls = {"n": 0}
+        real = Kernel.eject
+
+        def flaky(self, name, reason="policy violation"):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise exc
+            return real(self, name, reason)
+
+        monkeypatch.setattr(Kernel, "eject", flaky)
+
+    def test_journal_is_drained_and_error_reported(self, monkeypatch):
+        self._crash_once(monkeypatch, RuntimeError("eject path died"))
+        with pytest.raises(SoakError) as e:
+            run_soak(cycles=3, machine=None, blast_count=5)
+        report = e.value.report
+        err = report["error"]
+        assert err["cycle"] == 0
+        assert err["type"] == "RuntimeError"
+        assert "eject path died" in err["detail"]
+        # The hostile module's insmod side effects were still journalled
+        # when the cycle died; the drain must have swept them.
+        assert err["journal_drained_modules"] >= 1
+        assert err["journal_drained_records"] >= 1
+        assert err["journal_empty_after_drain"] is True
+        assert report["cycles_completed"] == 0
+
+    def test_soak_error_message_is_structured(self, monkeypatch):
+        self._crash_once(monkeypatch, ValueError("bad unwind"))
+        with pytest.raises(SoakError) as e:
+            run_soak(cycles=2, machine=None, blast_count=5)
+        message = str(e.value)
+        assert "cycle 0 failed mid-rollback" in message
+        assert "ValueError: bad unwind" in message
+        assert "journal drained" in message
+
+    def test_invariant_failures_still_raise_soak_error_directly(self):
+        """A *detected* invariant violation is not a crash: it raises
+        SoakError without the drain path (no ``error`` block)."""
+        report = run_soak(cycles=2, machine=None, blast_count=5)
+        assert "error" not in report  # clean runs stay clean
+
+    def test_cli_exits_nonzero_on_crash(self, monkeypatch, tmp_path,
+                                        capsys):
+        import json
+
+        from repro.cli import soak_main
+
+        self._crash_once(monkeypatch, RuntimeError("eject path died"))
+        out = tmp_path / "soak.json"
+        rc = soak_main(["--cycles", "2", "--count", "5",
+                        "--report", str(out)])
+        assert rc == 1
+        written = json.loads(out.read_text())
+        assert written["error"]["journal_empty_after_drain"] is True
+        assert "FAILED" in capsys.readouterr().err

@@ -149,3 +149,53 @@ def test_tutorial_trace_the_crash(tmp_path):
     assert lines
     assert all(l.rsplit(" ", 1)[0].endswith("carat_guard") for l in lines)
     assert any(";record;" in l or ";init_module;" in l for l in lines)
+
+
+def test_tutorial_tenant_quota_rollback():
+    # step 7: a tenant blows its violation budget; the canary generation
+    # auto-rolls back and /proc/carat + the trace carry the evidence
+    from repro.policy import (
+        ControlPlaneConfig, OP_ADD, PolicyControlPlane, PolicyManager,
+    )
+
+    kernel = Kernel(ncpus=2)
+    policy = CaratPolicyModule(kernel, enforce=False).install()
+    manager = PolicyManager(kernel)
+    cp = PolicyControlPlane(
+        kernel, policy, ControlPlaneConfig(canary_tick_limit=4),
+    ).attach()
+    trace = kernel.trace
+    trace.enable()
+
+    manager.create_tenant("metrics", max_regions=8, violation_budget=2)
+    gen = manager.batch_mutate("metrics", [
+        (OP_ADD, 0x5000_0000, 0x1000, 0),      # prot=0: a deny region
+    ])
+    assert gen == 2  # staged on the canary CPU only
+    assert manager.cp_status()["staged_generation"] == 2
+
+    for _ in range(4):          # CPU 0 is the canary; these all deny
+        policy._guard(None, 0x5000_0040, 8, 1, "metrics_probe")
+    assert manager.cp_tick() == 2  # AUTO-ROLLED BACK: 4 denies > budget 2
+    trace.disable()
+
+    # the staged generation is gone and its number went back to the pool
+    status = manager.cp_status()
+    assert status["generation"] == 1
+    assert status["staged_generation"] == 0
+    assert status["rollbacks"] == 1
+    assert manager.tenant_stats("metrics")["regions"] == 0  # undone
+
+    # the operator's evidence: /proc/carat...
+    text = kernel.proc.read("/proc/carat")
+    assert "controlplane: generation 1, 1 tenant(s)" in text
+    assert "1 rolled back" in text
+    assert "rollback gen 2 (metrics): violation budget exceeded" in text
+
+    # ...and the lifecycle on film
+    names = [e.name for e in trace.snapshot()]
+    for expected in ("cp:batch", "cp:stage", "cp:rollback"):
+        assert expected in names, f"missing {expected}"
+    rollback = next(e for e in trace.snapshot() if e.name == "cp:rollback")
+    assert rollback.args["tenant"] == "metrics"
+    assert "violation budget exceeded" in rollback.args["reason"]

@@ -343,3 +343,152 @@ class TestVerifyEpochDemotion:
         kernel.run_function(loaded, "run", [3])
         assert not loaded.elided_guards
         assert loaded.verify_state.startswith("demoted")
+
+
+class TestVerifyPolicyUnderMutationStorm:
+    """S3: ``--verify-policy strict|demote|off`` under a concurrent
+    mutation storm.  Three -O3 modules run while three interleaved
+    mutators hammer the policy plane (global adds/removes, default
+    flips, per-module adds).  The invariants:
+
+    - every loaded -O3 module is demoted **exactly once** per policy
+      generation bump that invalidates it — no double demotion, no
+      demotion of an already-dynamic module;
+    - a module **never executes** with stale elided guards: by the time
+      ``run_function`` dispatches, any mutation has already cleared the
+      elision set (eager hook) or the staleness token catches it first.
+    """
+
+    SOURCE = """
+    long cells[4];
+    __export long run(long seed) {
+        cells[0] = seed;
+        cells[1] = cells[0] + 1;
+        return cells[1];
+    }
+    """
+
+    def _storm_kernel(self, verify_policy, ncpus=2):
+        from repro.core.pipeline import CompileOptions, compile_module
+        from repro.passes.absint import AREAS
+
+        kernel = Kernel(ncpus=ncpus, verify_policy=verify_policy)
+        policy = CaratPolicyModule(kernel, enforce=False).install()
+        manager = PolicyManager(kernel)
+        lo, hi = AREAS["module"]
+        manager.allow(lo, hi - lo + 1)
+        manager.set_default(False)
+        loaded = []
+        for i in range(3):
+            compiled = compile_module(
+                self.SOURCE.replace("run", f"run{i}"),
+                CompileOptions(module_name=f"m{i}", protect=True,
+                               opt_level=3, verify_table=policy.index),
+            )
+            loaded.append(kernel.insmod(compiled))
+        return kernel, policy, manager, loaded
+
+    def _mutators(self, manager):
+        """Three interleaved mutation streams (the 'concurrent' storm:
+        round-robin interleaving is the simulator's concurrency model)."""
+        base = 0x6000_0000
+        step = {"n": 0}
+
+        def global_adds():
+            n = step["n"] = step["n"] + 1
+            manager.add_region(base + n * 0x2000, 0x1000,
+                               abi.FLAG_READ | abi.FLAG_WRITE)
+
+        def default_flips():
+            manager.set_default(step["n"] % 2 == 0)
+
+        def per_module_adds():
+            n = step["n"]
+            manager.add_region_for("bystander", base + 0x100_0000
+                                   + n * 0x2000, 0x1000, abi.FLAG_READ)
+
+        return [global_adds, default_flips, per_module_adds]
+
+    @pytest.mark.parametrize("verify_policy", ["strict", "demote", "off"])
+    def test_storm_demotes_exactly_once_never_runs_stale(self,
+                                                         verify_policy):
+        kernel, policy, manager, loaded = self._storm_kernel(verify_policy)
+        if verify_policy == "off":
+            assert all(not m.elided_guards for m in loaded)
+        else:
+            assert all(m.elided_guards for m in loaded)
+        mutators = self._mutators(manager)
+        for round_no in range(12):
+            mutators[round_no % len(mutators)]()
+            # The eager hook must already have cleared every elision set:
+            # an elided module whose token went stale at this point would
+            # be a stale-guard execution window.
+            for i, m in enumerate(loaded):
+                assert not (m.elided_guards
+                            and kernel._verify_token_stale(m))
+                assert kernel.run_function(m, f"run{i}", [round_no]) \
+                    == round_no + 1
+        # Exactly one generation-bump demotion per elided module, no
+        # matter how many mutations followed (re-demoting an
+        # already-dynamic module would double-count).
+        expected = 0 if verify_policy == "off" else len(loaded)
+        assert kernel.verify_demotions == expected
+        assert all(not m.elided_guards for m in loaded)
+
+    def test_strict_rejects_stale_certificate_at_insmod(self):
+        """strict refuses to load a module whose certificate no longer
+        proves the live table — demote-at-insmod is not available."""
+        from repro.core.pipeline import CompileOptions, compile_module
+        from repro.kernel.module_loader import LoadError
+        from repro.passes.absint import AREAS
+
+        kernel = Kernel(verify_policy="strict")
+        policy = CaratPolicyModule(kernel, enforce=False).install()
+        manager = PolicyManager(kernel)
+        lo, hi = AREAS["module"]
+        manager.allow(lo, hi - lo + 1)
+        manager.set_default(False)
+        compiled = compile_module(
+            self.SOURCE,
+            CompileOptions(module_name="late", protect=True, opt_level=3,
+                           verify_table=policy.index),
+        )
+        manager.add_region(0x6000_0000, 0x1000, abi.FLAG_READ)  # staler now
+        with pytest.raises(LoadError):
+            kernel.insmod(compiled)
+
+    def test_storm_through_staged_generations(self):
+        """The control-plane flavour: every staged canary generation is
+        itself a bump — an elided module must be demoted at *stage* time
+        (the canary CPU would otherwise run it against a policy its
+        certificate never saw)."""
+        from repro.core.pipeline import CompileOptions, compile_module
+        from repro.passes.absint import AREAS
+        from repro.policy import (
+            ControlPlaneConfig, OP_ADD, PolicyControlPlane, TenantQuota,
+        )
+
+        kernel = Kernel(ncpus=2, verify_policy="demote")
+        policy = CaratPolicyModule(kernel, enforce=False).install()
+        manager = PolicyManager(kernel)
+        cp = PolicyControlPlane(
+            kernel, policy, ControlPlaneConfig(canary_tick_limit=1),
+        ).attach()
+        lo, hi = AREAS["module"]
+        manager.allow(lo, hi - lo + 1)
+        manager.set_default(False)
+        loaded = kernel.insmod(compile_module(
+            self.SOURCE,
+            CompileOptions(module_name="prog", protect=True, opt_level=3,
+                           verify_table=policy.index),
+        ))
+        assert loaded.elided_guards
+        cp.create_tenant("storm", TenantQuota(max_regions=64))
+        for n in range(6):
+            cp.submit_batch("storm", [
+                (OP_ADD, 0x7000_0000 + n * 0x2000, 0x1000, abi.FLAG_READ),
+            ])
+            assert not loaded.elided_guards  # demoted at stage, not promote
+            assert kernel.run_function(loaded, "run", [n]) == n + 1
+            cp.tick()
+        assert kernel.verify_demotions == 1
