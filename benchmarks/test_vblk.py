@@ -1,0 +1,137 @@
+"""vblk throughput grid: guard-tier x engine x CPU count.
+
+The storage twin of the pktblast figures: one blkblast trial per cell of
+the -O0/-O2/-O3 x interp/compiled x 1/2/4-CPU grid, all on the r415
+machine model.  Two claims ride on the grid:
+
+1. **Guard optimization pays on the block path too**: per engine, the
+   -O2 build must execute fewer dynamic guard checks than -O0, and -O3
+   (static verification + elision) fewer than -O2, while moving the
+   byte-identical request stream.
+
+2. **Cooperative SMP stays a determinism feature**: within every
+   (opt level, engine) pair the simulated digest is bit-identical at
+   1, 2, and 4 CPUs.
+
+Writes ``benchmarks/results/BENCH_vblk.json``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.system import CaratKopSystem, SystemConfig
+
+MACHINE = "r415"
+COUNT = 240
+NSECT = 2
+PATTERN = "rand"
+SEED = 7
+READ_FRAC = 50
+OPT_LEVELS = (0, 2, 3)
+ENGINES = ("interp", "compiled")
+CPU_COUNTS = (1, 2, 4)
+# Decision-cache warmth and translation traffic are per-process, not
+# simulated state; strip them from the identity digest (same convention
+# as BENCH_smp).
+_CACHE_KEYS = ("guard_cache_hits", "guard_cache_misses",
+               "comparisons", "structure_checks")
+
+
+def _cell(opt_level: int, engine: str, cpus: int) -> dict:
+    system = CaratKopSystem(SystemConfig(
+        machine=MACHINE, driver="vblk", protect=True,
+        opt_level=opt_level, engine=engine, cpus=cpus,
+    ))
+    result = system.blkblast(
+        count=COUNT, nsect=NSECT, pattern=PATTERN, seed=SEED,
+        read_frac=READ_FRAC,
+    )
+    assert result.errors == 0, (
+        f"healthy-device blast errored at -O{opt_level}/{engine}/cpus={cpus}"
+    )
+    guard_stats = {
+        k: v for k, v in system.guard_stats().items()
+        if k not in _CACHE_KEYS and not k.startswith("translation_")
+    }
+    return {
+        "ops_done": result.ops_done,
+        "reads": result.reads,
+        "writes": result.writes,
+        "flushes": result.flushes,
+        "stalls": result.stalls,
+        "bytes_read": result.bytes_read,
+        "bytes_written": result.bytes_written,
+        "total_cycles": result.total_cycles,
+        "throughput_iops": result.throughput_iops,
+        "data_sig": system.blkdev.stats()["data_sig"],
+        "guard_checks": guard_stats["checks"],
+        "guard_stats": guard_stats,
+        "elided_guards": len(system.driver.elided_guards),
+    }
+
+
+def test_vblk_throughput_grid(results_dir):
+    grid = {}
+    for opt_level in OPT_LEVELS:
+        for engine in ENGINES:
+            for cpus in CPU_COUNTS:
+                grid[f"O{opt_level}/{engine}/cpus{cpus}"] = _cell(
+                    opt_level, engine, cpus
+                )
+
+    # -- claim 2: bit-identical across CPU counts ----------------------
+    for opt_level in OPT_LEVELS:
+        for engine in ENGINES:
+            reference = grid[f"O{opt_level}/{engine}/cpus1"]
+            for cpus in CPU_COUNTS[1:]:
+                cell = grid[f"O{opt_level}/{engine}/cpus{cpus}"]
+                assert cell == reference, (
+                    f"-O{opt_level}/{engine} diverged at cpus={cpus}: the "
+                    f"sharded blkblast must replay the single-CPU stream"
+                )
+
+    # -- claim 1: each guard tier cuts dynamic checks ------------------
+    reductions = {}
+    for engine in ENGINES:
+        checks = {
+            opt: grid[f"O{opt}/{engine}/cpus1"]["guard_checks"]
+            for opt in OPT_LEVELS
+        }
+        assert checks[2] < checks[0], (
+            f"{engine}: -O2 ran {checks[2]} guard checks vs {checks[0]} "
+            f"at -O0; coalescing bought nothing on the block path"
+        )
+        assert checks[3] < checks[2], (
+            f"{engine}: -O3 ran {checks[3]} guard checks vs {checks[2]} "
+            f"at -O2; static verification elided nothing"
+        )
+        assert grid[f"O3/{engine}/cpus1"]["elided_guards"] > 0
+        reductions[engine] = {
+            "checks_O0": checks[0],
+            "checks_O2": checks[2],
+            "checks_O3": checks[3],
+            "O2_vs_O0": 1 - checks[2] / checks[0],
+            "O3_vs_O0": 1 - checks[3] / checks[0],
+        }
+
+    report = {
+        "workload": {
+            "machine": MACHINE,
+            "driver": "vblk",
+            "count": COUNT,
+            "nsect": NSECT,
+            "pattern": PATTERN,
+            "seed": SEED,
+            "read_frac": READ_FRAC,
+        },
+        "opt_levels": list(OPT_LEVELS),
+        "engines": list(ENGINES),
+        "cpu_counts": list(CPU_COUNTS),
+        "bit_identical_across_cpus": True,
+        "guard_check_reduction": reductions,
+        "grid": grid,
+    }
+    (results_dir / "BENCH_vblk.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )

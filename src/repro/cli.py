@@ -5,6 +5,7 @@ The tools mirror the paper's artifacts:
 - ``caratcc``       — the compiler wrapper (§3.3, Figure 2)
 - ``policy-manager``— the ioctl policy tool (§3.1, Figure 1), demo mode
 - ``pktblast``      — the user-level packet test tool (§4.2)
+- ``caratkop-blkblast`` — the storage twin: block I/O through repro.vblk
 - ``caratkop-bench``— regenerate any paper figure
 - ``caratkop-soak`` — the violation/eject/recovery fault-injection soak
 - ``caratkop-trace``— the ftrace/perf-style tracing front end
@@ -247,6 +248,121 @@ def pktblast_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def blkblast_main(argv: list[str] | None = None) -> int:
+    """The user-level block-I/O test tool (the storage twin of pktblast)."""
+    ap = argparse.ArgumentParser(
+        prog="caratkop-blkblast",
+        description="drive mixed block I/O through the simulated vblk disk",
+    )
+    ap.add_argument("--machine", default="r350", choices=["r350", "r415"])
+    ap.add_argument("--count", type=int, default=1000,
+                    help="requests to issue")
+    ap.add_argument("--nsect", type=int, default=2,
+                    help="sectors per request")
+    ap.add_argument(
+        "--pattern", default="seq", choices=["seq", "rand", "hotspot"],
+        help="access pattern: sequential, uniform random, or hot-spot "
+             "(90%% of requests in a 1/32-of-the-disk window)",
+    )
+    ap.add_argument("--seed", type=int, default=1,
+                    help="stream seed (same seed = same request stream)")
+    ap.add_argument("--read-frac", type=int, default=50,
+                    help="percentage of non-flush requests that read")
+    ap.add_argument("--flush-interval", type=int, default=16,
+                    help="every Nth request is a flush barrier (0 = never)")
+    ap.add_argument("--baseline", action="store_true", help="unguarded driver")
+    ap.add_argument("--regions", type=int, default=2)
+    ap.add_argument(
+        "--engine", default="compiled", choices=["interp", "compiled"],
+        help="execution engine (compiled = translate-once closures)",
+    )
+    ap.add_argument("--latency", action="store_true", help="report latencies")
+    ap.add_argument(
+        "--profile", action="store_true",
+        help="per-function execution profile (instructions, guards, cycles)",
+    )
+    ap.add_argument(
+        "--enforce-mode", default=None,
+        choices=["audit", "panic", "eject", "isolate"],
+        help="what a guard denial does (default: panic, the paper behaviour)",
+    )
+    ap.add_argument(
+        "--opt-level", type=int, default=2, choices=[0, 1, 2, 3],
+        help="guard optimization level: 0 = faithful paper build (a guard "
+             "before every load/store), 1 = eliminate+hoist, 2 = adds "
+             "range coalescing, 3 = adds load-time static verification "
+             "(prove guards in-policy, elide them at insmod) "
+             "(default: 2, the production tier)",
+    )
+    ap.add_argument(
+        "--verify-policy", default="demote",
+        choices=["strict", "demote", "off"],
+        help="what insmod does with a stale or invalid -O3 verification "
+             "certificate: strict = reject the module, demote = load with "
+             "full dynamic guarding (default), off = ignore certificates",
+    )
+    ap.add_argument(
+        "--policy-index", default="interval",
+        choices=["linear", "interval"],
+        help="region-table structure: linear = the paper's O(n) scan, "
+             "interval = overlap-aware binary search (default: interval)",
+    )
+    ap.add_argument(
+        "--cpus", type=int, default=1,
+        help="simulated CPUs (cooperative model; 1 = historic behaviour)",
+    )
+    ap.add_argument(
+        "--smp-seed", type=int, default=0,
+        help="round-robin scheduler seed (0 = unsharded global order)",
+    )
+    args = ap.parse_args(argv)
+
+    system = CaratKopSystem(
+        SystemConfig(
+            machine=args.machine, driver="vblk", protect=not args.baseline,
+            regions=args.regions, engine=args.engine,
+            enforce_mode=args.enforce_mode,
+            cpus=args.cpus, smp_seed=args.smp_seed,
+            opt_level=args.opt_level, policy_index=args.policy_index,
+            verify_policy=args.verify_policy,
+        )
+    )
+    profiler = None
+    if args.profile:
+        from .vm import Profiler
+
+        profiler = Profiler()
+        system.kernel.vm.profiler = profiler
+    result = system.blkblast(
+        count=args.count, nsect=args.nsect, pattern=args.pattern,
+        seed=args.seed, read_frac=args.read_frac,
+        flush_interval=args.flush_interval, capture_latency=args.latency,
+    )
+    print(
+        f"{system.technique}: {result.ops_done}/{result.ops_requested} ops "
+        f"({result.reads} reads, {result.writes} writes, "
+        f"{result.flushes} flushes), {result.throughput_iops:,.0f} iops, "
+        f"{result.errors} errors, {result.stalls} stalls"
+    )
+    print(
+        f"moved: {result.bytes_read:,} bytes read, "
+        f"{result.bytes_written:,} bytes written"
+    )
+    if args.latency and result.latencies:
+        lat = sorted(result.latencies)
+        mid = lat[len(lat) // 2]
+        print(f"request latency: median {mid:,.0f} cycles, "
+              f"min {lat[0]:,.0f}, max {lat[-1]:,.0f}")
+    stats = system.guard_stats()
+    print(f"guards: {stats['checks']:,} checks, {stats['denied']} denied, "
+          f"decision cache {stats['guard_cache_hits']:,} hits / "
+          f"{stats['guard_cache_misses']:,} misses")
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    return 0
+
+
 def soak_main(argv: list[str] | None = None) -> int:
     """Run the violation->eject->recovery soak (fault-injection harness)."""
     import json
@@ -276,6 +392,13 @@ def soak_main(argv: list[str] | None = None) -> int:
     ap.add_argument("--dma-stall-period", type=int, default=13)
     ap.add_argument("--irq-drop-period", type=int, default=5)
     ap.add_argument("--xmit-fail-period", type=int, default=11)
+    ap.add_argument("--no-vblk", action="store_true",
+                    help="NIC-only soak (skip the vblk block stack half)")
+    ap.add_argument("--blk-count", type=int, default=16,
+                    help="block ops per vblk recovery blast")
+    ap.add_argument("--vblk-desc-garble-period", type=int, default=9)
+    ap.add_argument("--vblk-stall-period", type=int, default=17)
+    ap.add_argument("--vblk-writeback-drop-period", type=int, default=23)
     ap.add_argument("--report", metavar="FILE",
                     help="write the JSON violation/recovery report here")
     args = ap.parse_args(argv)
@@ -286,10 +409,19 @@ def soak_main(argv: list[str] | None = None) -> int:
         irq_drop_period=args.irq_drop_period,
         xmit_fail_period=args.xmit_fail_period,
     )
+    vblk_injector = None
+    if not args.no_vblk:
+        vblk_injector = FaultInjector(
+            vblk_desc_garble_period=args.vblk_desc_garble_period,
+            vblk_stall_period=args.vblk_stall_period,
+            vblk_writeback_drop_period=args.vblk_writeback_drop_period,
+        )
     try:
         report = run_soak(
             cycles=args.cycles, machine=args.machine, engine=args.engine,
             blast_size=args.size, blast_count=args.count, injector=injector,
+            vblk=not args.no_vblk, blk_count=args.blk_count,
+            vblk_injector=vblk_injector,
         )
         failed = None
     except SoakError as e:
@@ -297,6 +429,8 @@ def soak_main(argv: list[str] | None = None) -> int:
         failed = str(e)
         report["failure"] = failed
         report["injector"] = injector.report()
+        if vblk_injector is not None:
+            report["vblk_injector"] = vblk_injector.report()
     if args.report:
         with open(args.report, "w") as f:
             json.dump(report, f, indent=2)
@@ -313,6 +447,19 @@ def soak_main(argv: list[str] | None = None) -> int:
             f"{inj['stalled_frames']} DMA stalls, "
             f"{inj['dropped_irqs']} dropped irqs, "
             f"{inj['failed_xmits']} xmit transients"
+        )
+    if "vblk_ejections" in report:
+        print(
+            f"vblk: {report['vblk_ejections']} ejections, "
+            f"{report['blk_ops_done']} block ops post-recovery"
+        )
+    if report.get("vblk_injector"):
+        vinj = report["vblk_injector"]
+        print(
+            f"vblk faults injected: "
+            f"{vinj['garbled_descriptors']} torn descriptors, "
+            f"{vinj['stalled_completions']} media stalls, "
+            f"{vinj['dropped_writebacks']} dropped write-backs"
         )
     if failed is not None:
         print(f"FAILED: {failed}", file=sys.stderr)

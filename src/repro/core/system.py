@@ -27,6 +27,9 @@ class SystemConfig:
 
     #: "r415", "r350", a MachineModel, or None for untimed functional runs.
     machine: Union[str, MachineModel, None] = "r350"
+    #: Which guarded device stack to assemble: "e1000e" (NIC + pktblast,
+    #: the paper's testbed) or "vblk" (virtio-style block + blkblast).
+    driver: str = "e1000e"
     #: Build the driver with the CARAT KOP transform ("carat") or not
     #: ("baseline") — the two curves in every figure.
     protect: bool = True
@@ -106,16 +109,37 @@ class CaratKopSystem:
         else:
             self.policy_manager.install_n_region_policy(cfg.regions)
 
-        self.sink = PacketSink(keep_last=8)
-        self.device = E1000EDevice(
-            self.kernel,
-            self.sink,
-            clock=(lambda: self.kernel.vm.timing.cycles) if machine else None,
-            freq_hz=machine.freq_hz if machine else None,
-        )
+        if cfg.driver == "e1000e":
+            driver_name, driver_source = DRIVER_NAME, DRIVER_SOURCE
+            from ..e1000e.contracts import DRIVER_CONTRACTS as driver_contracts
+            self.sink = PacketSink(keep_last=8)
+            self.device = E1000EDevice(
+                self.kernel,
+                self.sink,
+                clock=(lambda: self.kernel.vm.timing.cycles) if machine else None,
+                freq_hz=machine.freq_hz if machine else None,
+            )
+        elif cfg.driver == "vblk":
+            from ..vblk import (
+                DRIVER_NAME as VBLK_NAME,
+                DRIVER_SOURCE as VBLK_SOURCE,
+                VBLK_CONTRACTS,
+                VblkDevice,
+            )
+            driver_name, driver_source = VBLK_NAME, VBLK_SOURCE
+            driver_contracts = VBLK_CONTRACTS
+            self.sink = None
+            self.device = VblkDevice(
+                self.kernel,
+                clock=(lambda: self.kernel.vm.timing.cycles) if machine else None,
+                freq_hz=machine.freq_hz if machine else None,
+            )
+        else:
+            raise ValueError(f"unknown driver {cfg.driver!r}")
+        self.driver_name = driver_name
 
         compile_opts = CompileOptions(
-            module_name=DRIVER_NAME,
+            module_name=driver_name,
             protect=cfg.protect,
             optimize_guards=cfg.optimize_guards,
             opt_level=cfg.opt_level,
@@ -124,21 +148,35 @@ class CaratKopSystem:
         if cfg.protect and compile_opts.verify_enabled():
             # -O3: prove guards against the live policy table (installed
             # above, so the digest/epoch the certificate captures are
-            # exactly what insmod re-validates) under the driver's
-            # trusted ABI contracts.
-            from ..e1000e.contracts import DRIVER_CONTRACTS
-
-            self.kernel.register_verify_contracts(DRIVER_CONTRACTS)
+            # exactly what insmod re-validates) under the driver's own
+            # trusted ABI contracts, registered per-driver so certifying
+            # one stack never widens the other's TCB.
+            self.kernel.register_verify_contracts(
+                driver_contracts, module=driver_name
+            )
             compile_opts.verify_table = self.policy.index
-            compile_opts.contracts = DRIVER_CONTRACTS
+            compile_opts.contracts = driver_contracts
         self.driver_compiled: CompiledModule = compile_module(
-            DRIVER_SOURCE, compile_opts,
+            driver_source, compile_opts,
         )
         self.driver: LoadedModule = self.kernel.insmod(self.driver_compiled)
-        self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
-        self.netdev.probe()
-        self.socket = RawPacketSocket(self.kernel, self.netdev, machine)
-        self.blaster = PacketBlaster(self.socket)
+        if cfg.driver == "e1000e":
+            self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
+            self.netdev.probe()
+            self.socket = RawPacketSocket(self.kernel, self.netdev, machine)
+            self.blaster = PacketBlaster(self.socket)
+            self.blkdev = None
+            self.blkqueue = None
+            self.blkblaster = None
+        else:
+            from ..vblk import BlockBlaster, BlockRequestQueue, VblkBlockDev
+            self.netdev = None
+            self.socket = None
+            self.blaster = None
+            self.blkdev = VblkBlockDev(self.kernel, self.driver, self.device)
+            self.blkdev.probe()
+            self.blkqueue = BlockRequestQueue(self.kernel, self.blkdev, machine)
+            self.blkblaster = BlockBlaster(self.blkqueue)
 
     # -- convenience --------------------------------------------------------
 
@@ -150,6 +188,17 @@ class CaratKopSystem:
               capture_latency: bool = False):
         """Run one pktblast trial on the live system."""
         return self.blaster.blast(size, count, capture_latency)
+
+    def blkblast(self, count: int = 100, nsect: int = 2,
+                 pattern: str = "seq", seed: int = 1,
+                 read_frac: int = 50, flush_interval: int = 16,
+                 capture_latency: bool = False):
+        """Run one blkblast trial on the live vblk system."""
+        return self.blkblaster.blast(
+            count, nsect=nsect, pattern=pattern, seed=seed,
+            read_frac=read_frac, flush_interval=flush_interval,
+            capture_latency=capture_latency,
+        )
 
     def guard_stats(self) -> dict[str, int]:
         stats = self.policy.stats.as_dict()
@@ -168,24 +217,37 @@ class CaratKopSystem:
         return stats
 
     def reload_driver(self) -> LoadedModule:
-        """Re-insert the e1000e driver after an eject and rebuild the
-        netdev/socket/blaster plumbing on top of it.  The recovery half
-        of a violation->eject->re-insmod cycle; the caller must lift the
+        """Re-insert the driver after an eject and rebuild the glue
+        plumbing on top of it.  The recovery half of a
+        violation->eject->re-insmod cycle; the caller must lift the
         quarantine first (``policy_manager.unquarantine``)."""
         machine = self.machine
         self.driver = self.kernel.insmod(self.driver_compiled)
-        self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
-        self.netdev.probe()
-        self.socket = RawPacketSocket(
-            self.kernel, self.netdev, machine,
-            max_retries=self.socket.max_retries,
-        )
-        self.blaster = PacketBlaster(self.socket)
+        if self.config.driver == "e1000e":
+            self.netdev = E1000ENetDev(self.kernel, self.driver, self.device)
+            self.netdev.probe()
+            self.socket = RawPacketSocket(
+                self.kernel, self.netdev, machine,
+                max_retries=self.socket.max_retries,
+            )
+            self.blaster = PacketBlaster(self.socket)
+        else:
+            from ..vblk import BlockBlaster, BlockRequestQueue, VblkBlockDev
+            self.blkdev = VblkBlockDev(self.kernel, self.driver, self.device)
+            self.blkdev.probe()
+            self.blkqueue = BlockRequestQueue(
+                self.kernel, self.blkdev, machine,
+                max_retries=self.blkqueue.max_retries,
+            )
+            self.blkblaster = BlockBlaster(self.blkqueue)
         return self.driver
 
     def teardown(self) -> None:
-        self.netdev.remove()
-        self.kernel.rmmod(DRIVER_NAME)
+        if self.netdev is not None:
+            self.netdev.remove()
+        if self.blkdev is not None:
+            self.blkdev.remove()
+        self.kernel.rmmod(self.driver_name)
         self.policy.uninstall()
 
 

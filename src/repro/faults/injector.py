@@ -20,6 +20,18 @@ a system without an attached injector pays nothing):
 - :meth:`xmit_transient` — the netdev layer reports EBUSY before even
   reaching the driver (qdisc backpressure).
 
+vblk hooks (consumed by :class:`repro.vblk.device.VblkDevice`):
+
+- :meth:`vblk_desc_garble` — every Nth descriptor fetch is torn: the
+  device sees an inconsistent snapshot, rejects the request with an
+  error status, and the driver's harvest path counts the error.  The
+  request still completes, so the functional model never hangs.
+- :meth:`vblk_completion_stall_cycles` — extra media-service latency
+  per request (a device doing background garbage collection).
+- :meth:`vblk_writeback_drop` — every Nth used-ring write-back is lost
+  on the bus; the device's retry engine replays it once a beat later,
+  preserving completion order.
+
 Control-plane hooks (consumed by
 :class:`repro.policy.controlplane.PolicyControlPlane`):
 
@@ -63,6 +75,10 @@ class FaultInjector:
         dma_stall_cycles: float = 50_000.0,
         irq_drop_period: int = 0,
         xmit_fail_period: int = 0,
+        vblk_desc_garble_period: int = 0,
+        vblk_stall_period: int = 0,
+        vblk_stall_cycles: float = 30_000.0,
+        vblk_writeback_drop_period: int = 0,
         publish_drop_period: int = 0,
         publish_stall_period: int = 0,
         replica_corrupt_period: int = 0,
@@ -74,6 +90,9 @@ class FaultInjector:
             ("dma_stall_period", dma_stall_period),
             ("irq_drop_period", irq_drop_period),
             ("xmit_fail_period", xmit_fail_period),
+            ("vblk_desc_garble_period", vblk_desc_garble_period),
+            ("vblk_stall_period", vblk_stall_period),
+            ("vblk_writeback_drop_period", vblk_writeback_drop_period),
             ("publish_drop_period", publish_drop_period),
             ("publish_stall_period", publish_stall_period),
             ("replica_corrupt_period", replica_corrupt_period),
@@ -87,6 +106,10 @@ class FaultInjector:
         self._dma_stall_cycles = float(dma_stall_cycles)
         self.irq_drop_period = irq_drop_period
         self.xmit_fail_period = xmit_fail_period
+        self.vblk_desc_garble_period = vblk_desc_garble_period
+        self.vblk_stall_period = vblk_stall_period
+        self._vblk_stall_cycles = float(vblk_stall_cycles)
+        self.vblk_writeback_drop_period = vblk_writeback_drop_period
         self.publish_drop_period = publish_drop_period
         self.publish_stall_period = publish_stall_period
         self.replica_corrupt_period = replica_corrupt_period
@@ -97,6 +120,9 @@ class FaultInjector:
         self._dma_frames = 0
         self._irqs = 0
         self._xmits = 0
+        self._vblk_descs = 0
+        self._vblk_completions = 0
+        self._vblk_writebacks = 0
         self._publish_installs = 0
         self._grace_waits = 0
         self._replica_installs = 0
@@ -107,6 +133,9 @@ class FaultInjector:
         self.stalled_frames = 0
         self.dropped_irqs = 0
         self.failed_xmits = 0
+        self.garbled_descriptors = 0
+        self.stalled_completions = 0
+        self.dropped_writebacks = 0
         self.dropped_publishes = 0
         self.stalled_publishes = 0
         self.corrupted_replicas = 0
@@ -163,6 +192,41 @@ class FaultInjector:
         if self._xmits % self.xmit_fail_period == 0:
             self.failed_xmits += 1
             self._emit("xmit_transient")
+            return True
+        return False
+
+    # -- vblk hooks ----------------------------------------------------------
+
+    def vblk_desc_garble(self) -> bool:
+        """True = this descriptor fetch observes a torn snapshot."""
+        if self.vblk_desc_garble_period == 0:
+            return False
+        self._vblk_descs += 1
+        if self._vblk_descs % self.vblk_desc_garble_period == 0:
+            self.garbled_descriptors += 1
+            self._emit("vblk_desc_garble")
+            return True
+        return False
+
+    def vblk_completion_stall_cycles(self) -> float:
+        """Extra media-service cycles for every Nth request."""
+        if self.vblk_stall_period == 0:
+            return 0.0
+        self._vblk_completions += 1
+        if self._vblk_completions % self.vblk_stall_period == 0:
+            self.stalled_completions += 1
+            self._emit("vblk_stall", cycles=self._vblk_stall_cycles)
+            return self._vblk_stall_cycles
+        return 0.0
+
+    def vblk_writeback_drop(self) -> bool:
+        """True = this used-ring write-back is lost and must be retried."""
+        if self.vblk_writeback_drop_period == 0:
+            return False
+        self._vblk_writebacks += 1
+        if self._vblk_writebacks % self.vblk_writeback_drop_period == 0:
+            self.dropped_writebacks += 1
+            self._emit("vblk_writeback_drop")
             return True
         return False
 
@@ -226,20 +290,26 @@ class FaultInjector:
     # -- wiring --------------------------------------------------------------
 
     def attach(self, system) -> "FaultInjector":
-        """Hook into a :class:`~repro.core.system.CaratKopSystem`."""
-        system.device.fault_injector = self
-        system.netdev.fault_injector = self
+        """Hook into a :class:`~repro.core.system.CaratKopSystem`.
+
+        Works for either driver stack: the NIC system exposes ``device``
+        + ``netdev``, the vblk system ``device`` + ``blkdev``; whichever
+        hosts exist get the injector."""
+        for host in (system.device, getattr(system, "netdev", None)):
+            if host is not None:
+                host.fault_injector = self
         system.kernel.irq.fault_injector = self
         self._tp = system.kernel.trace.points["fault:inject"]
         return self
 
     def detach(self, system) -> None:
-        if system.device.fault_injector is self:
-            system.device.fault_injector = None
-        if system.netdev.fault_injector is self:
-            system.netdev.fault_injector = None
-        if system.kernel.irq.fault_injector is self:
-            system.kernel.irq.fault_injector = None
+        for host in (
+            system.device,
+            getattr(system, "netdev", None),
+            system.kernel.irq,
+        ):
+            if host is not None and host.fault_injector is self:
+                host.fault_injector = None
         self._tp = None
 
     def report(self) -> dict[str, int]:
@@ -248,6 +318,9 @@ class FaultInjector:
             "stalled_frames": self.stalled_frames,
             "dropped_irqs": self.dropped_irqs,
             "failed_xmits": self.failed_xmits,
+            "garbled_descriptors": self.garbled_descriptors,
+            "stalled_completions": self.stalled_completions,
+            "dropped_writebacks": self.dropped_writebacks,
             "dropped_publishes": self.dropped_publishes,
             "stalled_publishes": self.stalled_publishes,
             "corrupted_replicas": self.corrupted_replicas,

@@ -7,6 +7,13 @@ IRQ lines or timers, an empty journal, and a driver that still moves
 packets.  This is the acceptance harness for the graceful-enforcement
 subsystem (paper §5's "cleanly handle forbidden accesses", made
 repeatable).
+
+Each cycle also runs the same violation->eject->recovery arc on a
+second system assembled around the vblk block stack (its own kernel,
+its own fault schedule: torn descriptors, media stalls, dropped
+used-ring write-backs), so the soak certifies graceful enforcement on
+both guarded device stacks, not just the NIC.  Pass ``vblk=False`` for
+the historic NIC-only soak.
 """
 
 from __future__ import annotations
@@ -86,6 +93,9 @@ def run_soak(
     blast_size: int = 128,
     blast_count: int = 20,
     injector: Optional[FaultInjector] = None,
+    vblk: bool = True,
+    blk_count: int = 16,
+    vblk_injector: Optional[FaultInjector] = None,
 ) -> dict:
     """Run ``cycles`` violation->eject->recovery cycles; returns a report.
 
@@ -110,6 +120,25 @@ def run_soak(
         CompileOptions(module_name=HOSTILE_NAME, key=system.signing_key),
     )
 
+    vsystem = vhostile = None
+    if vblk:
+        vsystem = CaratKopSystem(SystemConfig(
+            machine=machine, driver="vblk", protect=True,
+            enforce_mode="eject", engine=engine,
+        ))
+        if vblk_injector is None:
+            vblk_injector = FaultInjector(
+                vblk_desc_garble_period=9,
+                vblk_stall_period=17,
+                vblk_writeback_drop_period=23,
+            )
+        vblk_injector.attach(vsystem)
+        vhostile = compile_module(
+            HOSTILE_MODULE,
+            CompileOptions(module_name=HOSTILE_NAME,
+                           key=vsystem.signing_key),
+        )
+
     report: dict = {
         "cycles_requested": cycles,
         "cycles_completed": 0,
@@ -118,6 +147,9 @@ def run_soak(
         "delivered_frames": 0,
         "per_cycle": [],
     }
+    if vblk:
+        report["vblk_ejections"] = 0
+        report["blk_ops_done"] = 0
 
     def check(condition: bool, message: str) -> None:
         if not condition:
@@ -129,17 +161,22 @@ def run_soak(
         the crash into a structured nonzero exit instead of a traceback."""
         drained_modules = 0
         drained_records = 0
-        for module in kernel.journal.modules():
-            drained_records += kernel.journal.depth(module)
-            kernel.journal.rollback(module, kernel)
-            drained_modules += 1
+        kernels = [kernel]
+        if vsystem is not None:
+            kernels.append(vsystem.kernel)
+        for k in kernels:
+            for module in k.journal.modules():
+                drained_records += k.journal.depth(module)
+                k.journal.rollback(module, k)
+                drained_modules += 1
         report["error"] = {
             "cycle": cycle,
             "type": type(exc).__name__,
             "detail": str(exc),
             "journal_drained_modules": drained_modules,
             "journal_drained_records": drained_records,
-            "journal_empty_after_drain": not kernel.journal.modules(),
+            "journal_empty_after_drain": not any(
+                k.journal.modules() for k in kernels),
         }
         return SoakError(
             f"cycle {cycle} failed mid-rollback "
@@ -153,6 +190,9 @@ def run_soak(
         try:
             _run_cycle(cycle, system, kernel, hostile, report, check,
                        blast_size, blast_count)
+            if vsystem is not None:
+                _run_vblk_cycle(cycle, vsystem, vhostile, report, check,
+                                blk_count)
         except SoakError:
             raise
         except Exception as e:
@@ -164,6 +204,11 @@ def run_soak(
     report["injector"] = injector.report()
     report["guard_stats"] = system.guard_stats()
     injector.detach(system)
+    if vsystem is not None:
+        report["vblk_violation_faults"] = vsystem.kernel.violation_faults
+        report["vblk_injector"] = vblk_injector.report()
+        report["vblk_guard_stats"] = vsystem.guard_stats()
+        vblk_injector.detach(vsystem)
     return report
 
 
@@ -232,6 +277,45 @@ def _run_cycle(cycle, system, kernel, hostile, report, check,
         "delivered": delivered,
         "rollback": kernel.journal.rollbacks[-1],
     })
+
+
+def _run_vblk_cycle(cycle, system, hostile, report, check,
+                    blk_count) -> None:
+    """The vblk half of a soak cycle: the same violation->eject arc on
+    the block stack's own kernel, with a mixed blkblast as the
+    driver-still-alive probe."""
+    kernel = system.kernel
+    if cycle > 0:
+        check(
+            system.policy_manager.unquarantine(HOSTILE_NAME),
+            f"cycle {cycle}: vblk quarantine was not in place to lift",
+        )
+    alloc_base = kernel.kmalloc_allocator.snapshot()
+
+    loaded = kernel.insmod(hostile)
+    rc = kernel.run_function(loaded, "attack", [ATTACK_ADDR])
+    check(rc == -_EFAULT,
+          f"cycle {cycle}: vblk attack returned {rc}, wanted -EFAULT")
+    check(HOSTILE_NAME not in kernel.lsmod(),
+          f"cycle {cycle}: hostile still resident in the vblk kernel")
+    check(loaded.ejected, f"cycle {cycle}: vblk eject flag not set")
+    check(kernel.panicked is None,
+          f"cycle {cycle}: vblk kernel panicked ({kernel.panicked})")
+    alloc_now = kernel.kmalloc_allocator.snapshot()
+    check(alloc_now[1] == alloc_base[1],
+          f"cycle {cycle}: vblk kernel leaked "
+          f"{alloc_now[1] - alloc_base[1]} kmalloc bytes")
+    check(kernel.journal.depth(HOSTILE_NAME) == 0,
+          f"cycle {cycle}: vblk journal not drained")
+
+    res = system.blkblast(count=blk_count, nsect=2, pattern="rand",
+                          seed=cycle + 1)
+    check(res.ops_done == blk_count,
+          f"cycle {cycle}: block stack moved {res.ops_done}/{blk_count} ops")
+    report["blk_ops_done"] += res.ops_done
+    report["vblk_ejections"] += 1
+    report["per_cycle"][-1]["vblk_rc"] = rc
+    report["per_cycle"][-1]["blk_ops"] = res.ops_done
 
 
 __all__ = ["ATTACK_ADDR", "HOSTILE_MODULE", "HOSTILE_NAME", "SoakError",

@@ -67,8 +67,8 @@ _TOKEN_RE = re.compile(
   | (?P<comment>;[^\n]*)
   | (?P<string>c?"(?:[^"\\]|\\[0-9a-fA-F]{2})*")
   | (?P<number>-?\d+(?:\.\d+(?:e-?\d+)?)?)
-  | (?P<lref>%[A-Za-z_][A-Za-z0-9_.$-]*)
-  | (?P<gref>@[A-Za-z_][A-Za-z0-9_.$-]*)
+  | (?P<lref>%[A-Za-z0-9_.$-]+)
+  | (?P<gref>@[A-Za-z0-9_.$-]+)
   | (?P<meta>![A-Za-z_][A-Za-z0-9_.]*)
   | (?P<ellipsis>\.\.\.)
   | (?P<attr>\#[A-Za-z_][A-Za-z0-9_.]*)

@@ -100,6 +100,11 @@ class Kernel:
         # backref the verifier proves ranges against.
         self.verify_policy = verify_policy
         self.verify_contracts = None
+        # Per-driver trusted contract sets, keyed by module name.  Each
+        # guarded driver registers only its own invariants, keeping the
+        # -O3 verifier's TCB per-driver (certifying one driver never
+        # widens what another driver's module may claim).
+        self.module_verify_contracts: dict[str, object] = {}
         self.carat_policy = None
         self.verify_demotions = 0
         self._vm: Optional["Interpreter"] = None
@@ -207,11 +212,24 @@ class Kernel:
 
     # -- static verification (hybrid static+dynamic guarding) --------------------------
 
-    def register_verify_contracts(self, contracts) -> None:
-        """Install the kernel's trusted contract set (the -O3 verifier's
-        TCB).  Certificates minted against a different set are demoted
-        or rejected at insmod."""
-        self.verify_contracts = contracts
+    def register_verify_contracts(self, contracts, module: Optional[str] = None) -> None:
+        """Install a trusted contract set (the -O3 verifier's TCB).
+
+        With ``module`` the set applies to that module name alone —
+        the per-driver registry.  Without it, the set is the kernel-wide
+        fallback (legacy single-driver behaviour).  Certificates minted
+        against a different set are demoted or rejected at insmod."""
+        if module is None:
+            self.verify_contracts = contracts
+        else:
+            self.module_verify_contracts[module] = contracts
+
+    def contracts_for(self, module_name: str):
+        """The trusted contract set insmod verifies ``module_name``
+        against: the per-driver registration if one exists, else the
+        kernel-wide fallback."""
+        contracts = self.module_verify_contracts.get(module_name)
+        return contracts if contracts is not None else self.verify_contracts
 
     def _verify_token_stale(self, module: LoadedModule) -> bool:
         policy = self.carat_policy

@@ -326,7 +326,7 @@ class ModuleLoader:
                 "policy is tenant-composed; certificate proves the "
                 "system namespace only"
             )
-        contracts = kernel.verify_contracts
+        contracts = kernel.contracts_for(compiled.name)
         if (contracts or EMPTY_CONTRACTS).digest() != cert.contracts_digest:
             return invalid("contract set mismatch")
         report = ModuleVerifier(compiled.ir, table, contracts).run()

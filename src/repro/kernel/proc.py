@@ -131,6 +131,15 @@ class ProcFS:
                 lines.append(f"mode[{name}]: {override}")
             for name, count in sorted(policy.violations.items()):
                 lines.append(f"violations[{name}]: {count}")
+        # Per-driver guard traffic: which module's accesses the guards
+        # actually checked (and denied), merged across CPUs.
+        driver_stats = getattr(policy, "driver_stats", None)
+        if driver_stats is not None:
+            for name, row in driver_stats().items():
+                lines.append(
+                    f"driver[{name}]: checks={row['checks']} "
+                    f"denied={row['denied']}"
+                )
         kernel = self.kernel
         # Per-module guard-optimizer counters (what each module's -O level
         # removed/hoisted/coalesced at compile time).

@@ -181,6 +181,11 @@ class CaratPolicyModule:
         #: Per-CPU counters (DEFINE_PER_CPU style): each simulated CPU
         #: bumps only its own slot; :attr:`stats` merges on read.
         self._cpu_stats: PerCpu = PerCpu(ncpus, lambda cpu: PolicyStats())
+        #: Per-CPU per-module guard traffic (name -> [checks, denied]).
+        #: Separate from :class:`PolicyStats` so the SMP merge identity
+        #: and the GET_STATS wire format are untouched; merged on read by
+        #: :meth:`driver_stats` for the /proc views.
+        self._cpu_module_stats: PerCpu = PerCpu(ncpus, lambda cpu: {})
         self.allowed_intrinsics: set[str] = set()
         #: Kernel symbols a module may call (paper §5 control-flow
         #: extension).  ``None`` = allow-all (the default, like stock
@@ -234,6 +239,20 @@ class CaratPolicyModule:
     def stats_per_cpu(self) -> list[dict[str, int]]:
         """Per-CPU counter breakdown (the /proc/carat per-CPU view)."""
         return [s.as_dict() for s in self._cpu_stats]
+
+    def driver_stats(self) -> dict[str, dict[str, int]]:
+        """Per-module guard traffic, merged across CPUs: which driver's
+        loads/stores the guards are actually checking (and denying)."""
+        merged: dict[str, list[int]] = {}
+        for shard in self._cpu_module_stats:
+            for name, counts in shard.items():
+                m = merged.setdefault(name, [0, 0])
+                m[0] += counts[0]
+                m[1] += counts[1]
+        return {
+            name: {"checks": checks, "denied": denied}
+            for name, (checks, denied) in sorted(merged.items())
+        }
 
     def _record_violation(self, module_name: str, *, kind: str,
                           addr: int = 0, size: int = 0, flags: int = 0,
@@ -475,10 +494,16 @@ class CaratPolicyModule:
             stats.comparisons += scanned
         stats.checks += 1
         stats.entries_scanned += scanned
+        mshard = self._cpu_module_stats[cpu]
+        mstats = mshard.get(module_name)
+        if mstats is None:
+            mstats = mshard[module_name] = [0, 0]
+        mstats[0] += 1
         if allowed:
             stats.allowed += 1
             return scanned
         stats.denied += 1
+        mstats[1] += 1
         self._record_violation(
             module_name, kind="memory", addr=addr, size=size, flags=flags
         )

@@ -70,6 +70,9 @@ EVENT_SCHEMA: dict[str, tuple[str, tuple[str, ...]]] = {
     "dma:fetch": ("dma", ("index", "addr", "len")),
     "dma:writeback": ("dma", ("index",)),
     "dma:rx": ("dma", ("index", "len")),
+    # Block device queue engine (descriptor fetch, completion write-back).
+    "vblk:fetch": ("vblk", ("index", "sector", "len", "op")),
+    "vblk:complete": ("vblk", ("index", "status")),
     # The user/kernel boundary.
     "syscall:enter": ("syscall", ("name", "bytes")),
     "syscall:exit": ("syscall", ("name", "rc", "cycles", "stalled")),

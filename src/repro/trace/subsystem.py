@@ -219,6 +219,18 @@ class TraceSubsystem:
         lines.append(counters if counters else "(none)")
         lines += ["", "[guard cycle cost]", self.guard_hist.render()]
         lines += ["", "[guard sites]", self.guard_sites.render()]
+        policy = getattr(self.kernel, "carat_policy", None)
+        if policy is not None and getattr(policy, "driver_stats", None):
+            rows = policy.driver_stats()
+            if rows:
+                # Runtime guard traffic attributed to each module (the
+                # per-driver split of the site counts above).
+                lines += ["", "[guard drivers]"]
+                for name, row in rows.items():
+                    lines.append(
+                        f"{name:<12} checks={row['checks']} "
+                        f"denied={row['denied']}"
+                    )
         loader = getattr(self.kernel, "loader", None)
         if loader is not None and loader.loaded:
             # Compile-time guard-optimizer work per module: how many

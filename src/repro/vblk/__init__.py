@@ -1,0 +1,38 @@
+"""repro.vblk: the second guarded device stack — a virtio-style block
+device, its mini-C driver, per-driver -O3 contracts, the kernel-side
+block request layer, and the blkblast workload generator."""
+
+from .blaster import BlkBlastResult, BlockBlaster, PATTERNS, make_test_block
+from .blkdev import (
+    BlockRequestQueue,
+    OP_FLUSH,
+    OP_READ,
+    OP_WRITE,
+    STAT_NAMES,
+    SubmitResult,
+    VblkBlockDev,
+)
+from .contracts import VBLK_CONTRACTS
+from .device import VblkDevice
+from .driver_source import DRIVER_NAME, DRIVER_SOURCE, driver_source_lines
+from . import regs
+
+__all__ = [
+    "BlkBlastResult",
+    "BlockBlaster",
+    "BlockRequestQueue",
+    "DRIVER_NAME",
+    "DRIVER_SOURCE",
+    "OP_FLUSH",
+    "OP_READ",
+    "OP_WRITE",
+    "PATTERNS",
+    "STAT_NAMES",
+    "SubmitResult",
+    "VBLK_CONTRACTS",
+    "VblkBlockDev",
+    "VblkDevice",
+    "driver_source_lines",
+    "make_test_block",
+    "regs",
+]

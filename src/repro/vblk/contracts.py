@@ -1,0 +1,51 @@
+"""Trusted verification contracts for the vblk mini-driver.
+
+The -O3 verifier's trusted computing base stays **per-driver**: this set
+speaks only about ``vdev`` and the vblk entry points, is registered with
+the kernel under the ``vblk`` module name, and its canonical digest is
+bound into vblk certificates alone — certifying one driver never widens
+what another driver's module may claim.  Each contract is justified by a
+kernel-enforced fact:
+
+- ``vblk_submit_io``'s data pointer is the request buffer the blkdev
+  layer hands in, always a ``kmalloc``-backed (direct-map) allocation of
+  at least one maximum-size request.
+- ``vblk_read_reg`` is reached only through paths that mask the register
+  offset to the BAR window before calling.
+- ``vdev.mmio`` holds an ``ioremap`` cookie (vmalloc window) from probe
+  until remove; the descriptor table and avail/used rings hold
+  ``kmalloc`` results; queue geometry fields are written once at setup
+  from compile-time constants and only ever advanced modulo the queue
+  size.
+"""
+
+from __future__ import annotations
+
+from ..passes.absint import ArgContract, ContractSet, FieldContract
+from .regs import BAR_SIZE, DEFAULT_QUEUE_ENTRIES, MAX_IO_SECTORS, SECTOR_SIZE, VDESC_SIZE
+
+QUEUE_ENTRIES = DEFAULT_QUEUE_ENTRIES
+MAX_IO_BYTES = MAX_IO_SECTORS * SECTOR_SIZE
+
+VBLK_CONTRACTS = ContractSet([
+    # blkdev hands submit a direct-map buffer of at least one max request
+    ArgContract("vblk_submit_io", 0, area="heap", reserve=MAX_IO_BYTES),
+    # callers mask the register offset to the BAR before calling
+    ArgContract("vblk_read_reg", 0, lo=0, hi=BAR_SIZE - 4),
+    # probe-time ioremap cookie for the whole BAR, stable until remove
+    FieldContract("vdev", "mmio", area="mmio", reserve=BAR_SIZE),
+    # descriptor table and index rings are kmalloc-backed
+    FieldContract("vdev", "q.desc_virt", area="heap",
+                  reserve=QUEUE_ENTRIES * VDESC_SIZE),
+    FieldContract("vdev", "q.avail_virt", area="heap",
+                  reserve=QUEUE_ENTRIES * 4),
+    FieldContract("vdev", "q.used_virt", area="heap",
+                  reserve=QUEUE_ENTRIES * 4),
+    # queue geometry: set once at setup, advanced modulo queue size
+    FieldContract("vdev", "q.count", lo=QUEUE_ENTRIES, hi=QUEUE_ENTRIES),
+    FieldContract("vdev", "q.next_to_use", lo=0, hi=QUEUE_ENTRIES - 1),
+    FieldContract("vdev", "q.next_to_clean", lo=0, hi=QUEUE_ENTRIES - 1),
+    FieldContract("vdev", "q.used_head", lo=0, hi=QUEUE_ENTRIES - 1),
+])
+
+__all__ = ["VBLK_CONTRACTS", "QUEUE_ENTRIES", "MAX_IO_BYTES"]

@@ -1,0 +1,398 @@
+"""The simulated virtio-style block device.
+
+Like the e1000e model, the device is the unguarded half of the driver
+contract: an MMIO register window plus a DMA engine that fetches request
+descriptors and moves sector data straight through physical memory.  DMA
+accesses bypass the guard machinery *by construction* (the paper scopes
+device-side protection to IOMMU/SR-IOV, §4 fn 3), so the guarded hot
+path only pays for the driver's own descriptor and doorbell stores.
+
+The queue shape is split-virtqueue in miniature: a descriptor table, an
+avail ring the driver posts indexes into (AVT doorbell), and a used ring
+the device writes completed indexes back to (UT), each completion also
+setting the descriptor's status byte and raising the MSI-X-style
+completion cause.
+
+Timing: sector payloads drain at a flash-like fixed service rate.  With
+a cycle clock (machine-model runs) completions land as simulated device
+time elapses; without one, completion is immediate (functional mode).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Callable, Optional
+
+from ..kernel.kernel import Kernel
+from ..kernel.panic import MemoryFault
+from . import regs
+
+#: Sustained media rate: 400 MB/s (a modest SATA-flash device).
+_MEDIA_BYTES_PER_SEC = 400_000_000
+#: Fixed per-request service overhead (queue + firmware), seconds.
+_REQUEST_OVERHEAD_SEC = 8e-6
+#: A flush drains the write cache: costlier than any single request.
+_FLUSH_OVERHEAD_SEC = 60e-6
+
+_DESC_FMT = "<QQIHBBQ"
+
+
+class VblkDevice:
+    """Register file + queue DMA engine + sector-addressed backing store."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        capacity_sectors: int = regs.DEFAULT_CAPACITY_SECTORS,
+        clock: Optional[Callable[[], float]] = None,
+        freq_hz: Optional[float] = None,
+        queue_entries_max: int = 1024,
+    ):
+        if capacity_sectors <= 0:
+            raise ValueError("capacity must be positive")
+        self.kernel = kernel
+        self.capacity_sectors = capacity_sectors
+        #: Returns "now" in CPU cycles; None = functional (untimed) mode.
+        self.clock = clock
+        self.freq_hz = freq_hz
+        self.queue_entries_max = queue_entries_max
+        self.phys_base = kernel.register_mmio(self, regs.BAR_SIZE, "vblk")
+        #: Interrupt line (assigned by the "PCI subsystem" at attach time).
+        self.irq_line = kernel.irq.allocate_line()
+        #: Fault-injection hook (see :mod:`repro.faults`): may garble
+        #: descriptor fetches, stall completions, and drop used-ring
+        #: write-backs.  None = healthy hardware.
+        self.fault_injector = None
+        #: The media: never cleared by reset (a reset is not a secure erase).
+        self.store = bytearray(capacity_sectors * regs.SECTOR_SIZE)
+        points = kernel.trace.points
+        self._tp_fetch = points["vblk:fetch"]
+        self._tp_complete = points["vblk:complete"]
+        self.reset()
+
+    # -- device state --------------------------------------------------------
+
+    def reset(self) -> None:
+        self.vctl = 0
+        self.vims = 0
+        self.vicr = 0
+        self.dtba = 0
+        self.dtlen = 0
+        self.avba = 0
+        self.avh = 0
+        self.avt = 0
+        self.uba = 0
+        self.uh = 0
+        self.ut = 0
+        self.rdops = 0
+        self.wrops = 0
+        self.flops = 0
+        self.sectors_read = 0
+        self.sectors_written = 0
+        #: Descriptor rejections (bad type/length/sector) — distinct from
+        #: master aborts, which are bus-level DMA failures.
+        self.desc_errors = 0
+        #: DMA master aborts: the driver programmed a bogus bus address.
+        self.dma_errors = 0
+        # In-flight requests: [completion_cycle, ring_index, status, retried]
+        self._in_flight: deque[list] = deque()
+        self._media_free_at = 0.0
+
+    @property
+    def queue_entries(self) -> int:
+        return self.dtlen // regs.VDESC_SIZE if self.dtlen else 0
+
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _cycles_for_request(self, length: int, rtype: int) -> float:
+        if self.freq_hz is None:
+            return 0.0
+        if rtype == regs.VDESC_TYPE_FLUSH:
+            seconds = _FLUSH_OVERHEAD_SEC
+        else:
+            seconds = _REQUEST_OVERHEAD_SEC + length / _MEDIA_BYTES_PER_SEC
+        return seconds * self.freq_hz
+
+    # -- MMIO interface ------------------------------------------------------
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == regs.VCTL:
+            return self.vctl
+        if offset == regs.VSTS:
+            ready = bool(self.vctl & regs.VCTL_EN) and self.queue_entries > 0
+            return regs.VSTS_READY if ready else 0
+        if offset == regs.CAP:
+            return self.capacity_sectors
+        if offset == regs.VICR:
+            self._process_completions()
+            value, self.vicr = self.vicr, 0  # read-to-clear
+            return value
+        if offset in (regs.VIMS, regs.VIMC):
+            return self.vims
+        if offset == regs.DTBAL:
+            return self.dtba & 0xFFFFFFFF
+        if offset == regs.DTBAH:
+            return self.dtba >> 32
+        if offset == regs.DTLEN:
+            return self.dtlen
+        if offset == regs.AVBAL:
+            return self.avba & 0xFFFFFFFF
+        if offset == regs.AVBAH:
+            return self.avba >> 32
+        if offset == regs.AVH:
+            return self.avh
+        if offset == regs.AVT:
+            return self.avt
+        if offset == regs.UBAL:
+            return self.uba & 0xFFFFFFFF
+        if offset == regs.UBAH:
+            return self.uba >> 32
+        if offset == regs.UH:
+            return self.uh
+        if offset == regs.UT:
+            self._process_completions()
+            return self.ut
+        if offset == regs.RDOPS:
+            self._process_completions()
+            return self.rdops
+        if offset == regs.WROPS:
+            self._process_completions()
+            return self.wrops
+        if offset == regs.FLOPS:
+            self._process_completions()
+            return self.flops
+        if offset == regs.SECR:
+            return self.sectors_read
+        if offset == regs.SECW:
+            return self.sectors_written
+        if offset == regs.DERR:
+            return self.desc_errors + self.dma_errors
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == regs.VCTL:
+            if value & regs.VCTL_RST:
+                self.reset()
+                return
+            self.vctl = value
+        elif offset == regs.VIMS:
+            self.vims |= value
+        elif offset == regs.VIMC:
+            self.vims &= ~value
+        elif offset == regs.DTBAL:
+            self.dtba = (self.dtba & ~0xFFFFFFFF) | (value & 0xFFFFFFFF)
+        elif offset == regs.DTBAH:
+            self.dtba = (self.dtba & 0xFFFFFFFF) | (value << 32)
+        elif offset == regs.DTLEN:
+            if value % regs.VDESC_SIZE or value // regs.VDESC_SIZE > self.queue_entries_max:
+                # Hardware ignores out-of-spec queue sizes; it must not
+                # fault the CPU store that wrote them.
+                self.kernel.dmesg(f"vblk device: ignoring bad DTLEN {value:#x}")
+            else:
+                self.dtlen = value
+        elif offset == regs.AVBAL:
+            self.avba = (self.avba & ~0xFFFFFFFF) | (value & 0xFFFFFFFF)
+        elif offset == regs.AVBAH:
+            self.avba = (self.avba & 0xFFFFFFFF) | (value << 32)
+        elif offset == regs.AVH:
+            self.avh = value % max(self.queue_entries, 1)
+        elif offset == regs.AVT:
+            self.avt = value % max(self.queue_entries, 1)
+            self._queue_kick()
+        elif offset == regs.UBAL:
+            self.uba = (self.uba & ~0xFFFFFFFF) | (value & 0xFFFFFFFF)
+        elif offset == regs.UBAH:
+            self.uba = (self.uba & 0xFFFFFFFF) | (value << 32)
+        elif offset == regs.UH:
+            self.uh = value % max(self.queue_entries, 1)
+        # Stats registers and unknown offsets ignore writes, like hardware.
+
+    # -- queue DMA engine ----------------------------------------------------
+
+    def _queue_kick(self) -> None:
+        """AVT moved: fetch avail entries, move data, queue completions."""
+        if not (self.vctl & regs.VCTL_EN) or not self.queue_entries:
+            return
+        self._process_completions()
+        ram = self.kernel.ram
+        n = self.queue_entries
+        now = self._now()
+        busy_at = max(self._media_free_at, now)
+        while self.avh != self.avt:
+            slot_phys = self.avba + self.avh * 4
+            try:
+                idx = struct.unpack("<I", ram.read(slot_phys, 4))[0]
+            except MemoryFault:
+                self._master_abort(f"avail-ring fetch at {slot_phys:#x}")
+                return
+            self.avh = (self.avh + 1) % n
+            if idx >= n:
+                self.desc_errors += 1
+                self.kernel.dmesg(
+                    f"vblk device: avail entry {idx} out of queue range"
+                )
+                continue
+            desc_phys = self.dtba + idx * regs.VDESC_SIZE
+            try:
+                raw = ram.read(desc_phys, regs.VDESC_SIZE)
+            except MemoryFault:
+                self._master_abort(f"descriptor fetch at {desc_phys:#x}")
+                return
+            garbled = (
+                self.fault_injector is not None
+                and self.fault_injector.vblk_desc_garble()
+            )
+            if garbled:
+                # A torn descriptor fetch: the device saw an inconsistent
+                # snapshot and rejects the request with an error status.
+                sector, buf_phys, length, rtype = 0, 0, 0, 0xFFFF
+            else:
+                sector, buf_phys, length, rtype, _status, _pad, _rsvd = (
+                    struct.unpack(_DESC_FMT, raw)
+                )
+            tp = self._tp_fetch
+            if tp.enabled:
+                tp.emit(index=idx, sector=sector, len=length, op=rtype)
+            status = regs.VDESC_STATUS_DD
+            if not self._request_valid(sector, length, rtype):
+                self.desc_errors += 1
+                status |= regs.VDESC_STATUS_ERR
+            elif rtype == regs.VDESC_TYPE_READ:
+                data = bytes(
+                    self.store[
+                        sector * regs.SECTOR_SIZE:
+                        sector * regs.SECTOR_SIZE + length
+                    ]
+                )
+                try:
+                    ram.write(buf_phys, data)  # DMA write: unguarded
+                except MemoryFault:
+                    self._master_abort(f"read DMA at {buf_phys:#x}")
+                    return
+                self.rdops += 1
+                self.sectors_read += length // regs.SECTOR_SIZE
+            elif rtype == regs.VDESC_TYPE_WRITE:
+                try:
+                    data = ram.read(buf_phys, length)  # DMA read: unguarded
+                except MemoryFault:
+                    self._master_abort(f"write DMA at {buf_phys:#x}")
+                    return
+                self.store[
+                    sector * regs.SECTOR_SIZE:
+                    sector * regs.SECTOR_SIZE + length
+                ] = data
+                self.wrops += 1
+                self.sectors_written += length // regs.SECTOR_SIZE
+            else:  # flush
+                self.flops += 1
+            busy_at += self._cycles_for_request(length, rtype)
+            if self.fault_injector is not None:
+                busy_at += self.fault_injector.vblk_completion_stall_cycles()
+            self._in_flight.append([busy_at, idx, status, False])
+        self._media_free_at = busy_at
+        if self.clock is None:
+            self._process_completions()
+
+    def _request_valid(self, sector: int, length: int, rtype: int) -> bool:
+        if rtype == regs.VDESC_TYPE_FLUSH:
+            return length == 0
+        if rtype not in (regs.VDESC_TYPE_READ, regs.VDESC_TYPE_WRITE):
+            return False
+        if length == 0 or length % regs.SECTOR_SIZE:
+            return False
+        if length > regs.MAX_IO_SECTORS * regs.SECTOR_SIZE:
+            return False
+        return sector + length // regs.SECTOR_SIZE <= self.capacity_sectors
+
+    def _master_abort(self, what: str) -> None:
+        """A DMA access hit an invalid bus address: log + disable the queue.
+
+        Hardware latches a fatal error and stops the queue engine; the CPU
+        store that rang the doorbell is NOT faulted — the damage shows up
+        asynchronously, exactly like the NIC model."""
+        self.dma_errors += 1
+        self.vctl &= ~regs.VCTL_EN
+        self.kernel.dmesg(f"vblk device: DMA master abort ({what})")
+
+    def _process_completions(self) -> None:
+        """Write back status + used-ring entries for finished requests."""
+        now = self._now()
+        ram = self.kernel.ram
+        n = self.queue_entries
+        completed = False
+        while self._in_flight:
+            entry = self._in_flight[0]
+            done_at, idx, status, retried = entry
+            if self.clock is not None and done_at > now:
+                break
+            if (
+                not retried
+                and self.fault_injector is not None
+                and self.fault_injector.vblk_writeback_drop()
+            ):
+                # The used-ring write-back was dropped on the bus; the
+                # device's retry engine replays it (once) a beat later.
+                # Head position keeps completions in submission order.
+                entry[0] = done_at + self._cycles_for_request(0, regs.VDESC_TYPE_READ)
+                entry[3] = True
+                if self.clock is not None:
+                    continue
+                # Untimed mode: fall through and complete on this pass so
+                # the functional model can never hang.
+            self._in_flight.popleft()
+            if not n:
+                continue
+            desc_phys = self.dtba + idx * regs.VDESC_SIZE
+            status_off = desc_phys + 22  # u8 status
+            slot_phys = self.uba + self.ut * 4
+            try:
+                ram.write(status_off, bytes([status]))
+                ram.write(slot_phys, struct.pack("<I", idx))
+            except MemoryFault:
+                self._master_abort(f"completion write-back at {slot_phys:#x}")
+                return
+            tp = self._tp_complete
+            if tp.enabled:
+                tp.emit(index=idx, status=status)
+            self.ut = (self.ut + 1) % n
+            self.vicr |= regs.VICR_USED
+            completed = True
+        if completed:
+            self._maybe_interrupt()
+
+    def _maybe_interrupt(self) -> None:
+        """Raise the line when an unmasked cause is pending (VIMS gates)."""
+        if self.vicr & self.vims:
+            self.kernel.irq.raise_irq(self.irq_line)
+
+    def sync(self) -> None:
+        """Process pending completions against the current clock."""
+        self._process_completions()
+
+    # -- introspection -------------------------------------------------------
+
+    def read_sectors(self, sector: int, count: int) -> bytes:
+        """Host-side peek at the media (tests/verification; not DMA)."""
+        off = sector * regs.SECTOR_SIZE
+        return bytes(self.store[off:off + count * regs.SECTOR_SIZE])
+
+    def stats(self) -> dict[str, int]:
+        self._process_completions()
+        return {
+            "reads": self.rdops,
+            "writes": self.wrops,
+            "flushes": self.flops,
+            "sectors_read": self.sectors_read,
+            "sectors_written": self.sectors_written,
+            "desc_errors": self.desc_errors,
+            "dma_errors": self.dma_errors,
+            "in_flight": len(self._in_flight),
+            "avh": self.avh,
+            "avt": self.avt,
+            "ut": self.ut,
+        }
+
+
+__all__ = ["VblkDevice"]

@@ -1,0 +1,462 @@
+'''The vblk virtio-style block driver, in mini-C.
+
+The second guarded workload: where e1000e exercises a unidirectional
+descriptor ring, vblk exercises the split-virtqueue shape — a request
+descriptor table plus paired avail/used index rings — with *mixed*
+read/write/flush submission and ISR-context completion harvesting.  The
+guarded access patterns are the ones the paper calls out (§4): construct
+request descriptors, queue them through the avail ring, ring MMIO
+doorbells, and walk the used ring from interrupt context.
+
+The exact same source compiles as the baseline (no transform) and the
+protected module, mirroring §4.1.
+'''
+
+DRIVER_NAME = "vblk"
+
+DRIVER_SOURCE = r"""
+/* vblk: virtio-style block driver for the simulated device. */
+
+enum {
+    REG_VCTL  = 0x0000,
+    REG_VSTS  = 0x0004,
+    REG_CAP   = 0x0008,
+    REG_VICR  = 0x0010,
+    REG_VIMS  = 0x0014,
+    REG_VIMC  = 0x0018,
+    REG_DTBAL = 0x0020,
+    REG_DTBAH = 0x0024,
+    REG_DTLEN = 0x0028,
+    REG_AVBAL = 0x0030,
+    REG_AVBAH = 0x0034,
+    REG_AVH   = 0x0038,
+    REG_AVT   = 0x003C,
+    REG_UBAL  = 0x0040,
+    REG_UBAH  = 0x0044,
+    REG_UH    = 0x0048,
+    REG_UT    = 0x004C
+};
+
+enum {
+    VCTL_RST   = 1 << 0,
+    VCTL_EN    = 1 << 1,
+    VSTS_READY = 1 << 0,
+    VICR_USED  = 1 << 0
+};
+
+enum {
+    VDESC_SIZE    = 32,
+    QUEUE_ENTRIES = 64,
+    SECTOR_SIZE   = 512,
+    MAX_IO_BYTES  = 4096,
+    OP_READ       = 0,
+    OP_WRITE      = 1,
+    OP_FLUSH      = 2,
+    STA_DD        = 0x01,
+    STA_ERR       = 0x02,
+    BAR_SIZE      = 0x1000
+};
+
+enum {   /* errno values the stack understands */
+    EINVAL = 22,
+    EBUSY  = 16,
+    ENODEV = 19,
+    EIO    = 5
+};
+
+extern void *kmalloc(long size, int flags);
+extern void kfree(void *p);
+extern int printk(char *fmt, ...);
+extern long ioremap(long phys, long size);
+extern long virt_to_phys(void *p);
+extern void udelay(long usec);
+extern int request_irq(int line, char *handler);
+extern void free_irq(int line);
+extern int register_chrdev(char *path, char *handler);
+extern int unregister_chrdev(char *path);
+
+struct vblk_queue {
+    long desc_virt;        /* descriptor table base (kernel virtual) */
+    long desc_phys;        /* same, physical, programmed into DTBA */
+    long avail_virt;       /* avail ring: u32 indexes, driver -> device */
+    long avail_phys;
+    long used_virt;        /* used ring: u32 indexes, device -> driver */
+    long used_phys;
+    int  count;
+    int  next_to_use;
+    int  next_to_clean;
+    int  used_head;
+};
+
+struct vblk_stats {
+    long reads;
+    long writes;
+    long flushes;
+    long read_bytes;
+    long write_bytes;
+    long errors;
+    long busy;
+    long completions;
+    long data_sig;
+};
+
+struct vblk_dev {
+    long mmio;             /* ioremapped BAR0 */
+    long mmio_phys;
+    long capacity;         /* sectors */
+    struct vblk_queue q;
+    struct vblk_stats stats;
+    int  up;
+    int  irq_line;
+    long irq_count;
+};
+
+struct vblk_dev vdev;
+
+/* ---- register accessors (each is a guarded MMIO load/store) ---------- */
+
+static unsigned int vr32(int reg) {
+    unsigned int *p = (unsigned int *)(vdev.mmio + (long)reg);
+    return *p;
+}
+
+static void vw32(int reg, unsigned int val) {
+    unsigned int *p = (unsigned int *)(vdev.mmio + (long)reg);
+    *p = val;
+}
+
+/* ---- descriptor helpers ---------------------------------------------- */
+
+static long vblk_desc_addr(int idx) {
+    return vdev.q.desc_virt + (long)idx * VDESC_SIZE;
+}
+
+static void vblk_fill_desc(int idx, long sector, long buf_phys, int len,
+                           int op) {
+    long base = vblk_desc_addr(idx);
+    long *sec_p = (long *)base;
+    *sec_p = sector;
+    long *buf_p = (long *)(base + 8);
+    *buf_p = buf_phys;
+    unsigned int *len_p = (unsigned int *)(base + 16);
+    *len_p = (unsigned int)len;
+    unsigned short *op_p = (unsigned short *)(base + 20);
+    *op_p = (unsigned short)op;
+    unsigned char *sta_p = (unsigned char *)(base + 22);
+    *sta_p = 0;
+    unsigned char *pad_p = (unsigned char *)(base + 23);
+    *pad_p = 0;
+    long *rsv_p = (long *)(base + 24);
+    *rsv_p = 0;
+}
+
+static int vblk_ring_next(int idx) {
+    idx = idx + 1;
+    if (idx >= vdev.q.count) {
+        idx = 0;
+    }
+    return idx;
+}
+
+static int vblk_ring_space(void) {
+    int used = vdev.q.next_to_use - vdev.q.next_to_clean;
+    if (used < 0) {
+        used += vdev.q.count;
+    }
+    return vdev.q.count - 1 - used;
+}
+
+/* ---- completion harvest (used-ring driven, runs from the ISR) -------- */
+
+__export int vblk_poll(void) {
+    int cleaned = 0;
+    int ut = (int)vr32(REG_UT);
+    int uh = vdev.q.used_head;
+    while (uh != ut) {
+        /* The device completes in submission order: the descriptor being
+           retired is next_to_clean; the used-ring entry confirms it. */
+        int idx = vdev.q.next_to_clean;
+        unsigned int *slot_p = (unsigned int *)(vdev.q.used_virt
+                                                + (long)uh * 4);
+        if ((int)*slot_p != idx) {
+            vdev.stats.errors += 1;
+        }
+        unsigned char *sta_p = (unsigned char *)(vblk_desc_addr(idx) + 22);
+        int status = (int)*sta_p;
+        if (status & STA_ERR) {
+            vdev.stats.errors += 1;
+        }
+        *sta_p = 0;
+        vdev.q.next_to_clean = vblk_ring_next(idx);
+        vdev.stats.completions += 1;
+        uh = uh + 1;
+        if (uh >= vdev.q.count) {
+            uh = 0;
+        }
+        cleaned = cleaned + 1;
+    }
+    vdev.q.used_head = uh;
+    vw32(REG_UH, (unsigned int)uh);
+    return cleaned;
+}
+
+/* ---- queue setup ------------------------------------------------------ */
+
+static int vblk_setup_queue(void) {
+    long desc_bytes = (long)QUEUE_ENTRIES * VDESC_SIZE;
+    long ring_bytes = (long)QUEUE_ENTRIES * 4;
+    vdev.q.desc_virt = (long)kmalloc(desc_bytes, 0);
+    vdev.q.avail_virt = (long)kmalloc(ring_bytes, 0);
+    vdev.q.used_virt = (long)kmalloc(ring_bytes, 0);
+    if (vdev.q.desc_virt == 0 || vdev.q.avail_virt == 0
+        || vdev.q.used_virt == 0) {
+        return -EINVAL;
+    }
+    /* Zero everything (guarded stores — driver-touched memory). */
+    long *p = (long *)vdev.q.desc_virt;
+    for (long i = 0; i < desc_bytes / 8; i++) {
+        p[i] = 0;
+    }
+    long *a = (long *)vdev.q.avail_virt;
+    for (long i = 0; i < ring_bytes / 8; i++) {
+        a[i] = 0;
+    }
+    long *u = (long *)vdev.q.used_virt;
+    for (long i = 0; i < ring_bytes / 8; i++) {
+        u[i] = 0;
+    }
+    vdev.q.desc_phys = virt_to_phys((void *)vdev.q.desc_virt);
+    vdev.q.avail_phys = virt_to_phys((void *)vdev.q.avail_virt);
+    vdev.q.used_phys = virt_to_phys((void *)vdev.q.used_virt);
+    vdev.q.count = QUEUE_ENTRIES;
+    vdev.q.next_to_use = 0;
+    vdev.q.next_to_clean = 0;
+    vdev.q.used_head = 0;
+    return 0;
+}
+
+static void vblk_configure_queue(void) {
+    vw32(REG_DTBAL, (unsigned int)(vdev.q.desc_phys & 0xFFFFFFFF));
+    vw32(REG_DTBAH, (unsigned int)(vdev.q.desc_phys >> 32));
+    vw32(REG_DTLEN, (unsigned int)(QUEUE_ENTRIES * VDESC_SIZE));
+    vw32(REG_AVBAL, (unsigned int)(vdev.q.avail_phys & 0xFFFFFFFF));
+    vw32(REG_AVBAH, (unsigned int)(vdev.q.avail_phys >> 32));
+    vw32(REG_AVH, 0);
+    vw32(REG_AVT, 0);
+    vw32(REG_UBAL, (unsigned int)(vdev.q.used_phys & 0xFFFFFFFF));
+    vw32(REG_UBAH, (unsigned int)(vdev.q.used_phys >> 32));
+    vw32(REG_UH, 0);
+    vw32(REG_VCTL, VCTL_EN);
+}
+
+static void vblk_reset_hw(void) {
+    vw32(REG_VCTL, VCTL_RST);
+    udelay(10);
+}
+
+/* ---- probe / remove --------------------------------------------------- */
+
+__export int vblk_probe(long mmio_phys) {
+    vdev.mmio_phys = mmio_phys;
+    vdev.mmio = ioremap(mmio_phys, BAR_SIZE);
+    if (vdev.mmio == 0) {
+        return -ENODEV;
+    }
+    vblk_reset_hw();
+    vdev.capacity = (long)vr32(REG_CAP);
+    if (vdev.capacity == 0) {
+        printk("vblk: no media");
+        return -ENODEV;
+    }
+    int rc = vblk_setup_queue();
+    if (rc != 0) {
+        return rc;
+    }
+    vblk_configure_queue();
+    unsigned int sts = vr32(REG_VSTS);
+    if ((sts & VSTS_READY) == 0) {
+        printk("vblk: device not ready");
+        return -ENODEV;
+    }
+    if (register_chrdev("/dev/vblk0", "vblk_ioctl") != 0) {
+        return -EINVAL;
+    }
+    vdev.up = 1;
+    printk("vblk: probe ok, mmio %lx queue %lx cap %lx sectors", vdev.mmio,
+           vdev.q.desc_virt, vdev.capacity);
+    return 0;
+}
+
+__export int vblk_remove(void) {
+    if (!vdev.up) {
+        return -ENODEV;
+    }
+    vdev.up = 0;
+    vw32(REG_VCTL, 0);
+    vw32(REG_VIMC, 0xFFFFFFFF);
+    unregister_chrdev("/dev/vblk0");
+    kfree((void *)vdev.q.desc_virt);
+    kfree((void *)vdev.q.avail_virt);
+    kfree((void *)vdev.q.used_virt);
+    vdev.q.desc_virt = 0;
+    vdev.q.avail_virt = 0;
+    vdev.q.used_virt = 0;
+    printk("vblk: removed");
+    return 0;
+}
+
+/* ---- the hot path: submit one request --------------------------------- */
+
+__export int vblk_submit_io(void *data, long sector, int len, int op) {
+    if (!vdev.up) {
+        vdev.stats.errors += 1;
+        return -ENODEV;
+    }
+    if (op < OP_READ || op > OP_FLUSH) {
+        vdev.stats.errors += 1;
+        return -EINVAL;
+    }
+    if (op == OP_FLUSH) {
+        if (len != 0) {
+            vdev.stats.errors += 1;
+            return -EINVAL;
+        }
+    } else {
+        if (len < SECTOR_SIZE || len > MAX_IO_BYTES) {
+            vdev.stats.errors += 1;
+            return -EINVAL;
+        }
+        if (sector < 0 || sector + (long)(len / SECTOR_SIZE) > vdev.capacity) {
+            vdev.stats.errors += 1;
+            return -EINVAL;
+        }
+    }
+    if (vblk_ring_space() < 1) {
+        /* Opportunistic harvest before declaring the queue full. */
+        vblk_poll();
+        if (vblk_ring_space() < 1) {
+            vdev.stats.busy += 1;
+            return -EBUSY;
+        }
+    }
+    /* Fold the first payload word into the running signature (a guarded
+       load through the request buffer, like checksumming a bio). */
+    if (op == OP_WRITE) {
+        long *word = (long *)data;
+        vdev.stats.data_sig += *word;
+    }
+    int idx = vdev.q.next_to_use;
+    long buf_phys = 0;
+    if (op != OP_FLUSH) {
+        buf_phys = virt_to_phys(data);
+    }
+    vblk_fill_desc(idx, sector, buf_phys, len, op);
+    /* Post the index on the avail ring, then ring the doorbell. */
+    unsigned int *slot_p = (unsigned int *)(vdev.q.avail_virt
+                                            + (long)idx * 4);
+    *slot_p = (unsigned int)idx;
+    vdev.q.next_to_use = vblk_ring_next(idx);
+    if (op == OP_READ) {
+        vdev.stats.reads += 1;
+        vdev.stats.read_bytes += len;
+    }
+    if (op == OP_WRITE) {
+        vdev.stats.writes += 1;
+        vdev.stats.write_bytes += len;
+    }
+    if (op == OP_FLUSH) {
+        vdev.stats.flushes += 1;
+    }
+    vw32(REG_AVT, (unsigned int)vdev.q.next_to_use);
+    /* Amortized harvest when the queue runs more than half full. */
+    if (vblk_ring_space() < vdev.q.count / 2) {
+        vblk_poll();
+    }
+    return 0;
+}
+
+/* ---- interrupt mode --------------------------------------------------- */
+
+/* The ISR: read-to-clear VICR, then harvest the used ring. */
+__export int vblk_intr(int line) {
+    unsigned int icr = vr32(REG_VICR);
+    if (icr == 0) {
+        return 0;           /* not ours / spurious */
+    }
+    vdev.irq_count += 1;
+    if (icr & VICR_USED) {
+        vblk_poll();
+    }
+    return 1;
+}
+
+__export int vblk_irq_enable(int line) {
+    if (request_irq(line, "vblk_intr") != 0) {
+        return -EINVAL;
+    }
+    vdev.irq_line = line;
+    vw32(REG_VIMS, VICR_USED);
+    return 0;
+}
+
+__export int vblk_irq_disable(void) {
+    vw32(REG_VIMC, 0xFFFFFFFF);
+    if (vdev.irq_line != 0) {
+        free_irq(vdev.irq_line);
+        vdev.irq_line = 0;
+    }
+    return 0;
+}
+
+/* ---- stats / introspection (exported for the blkdev glue) ------------- */
+
+__export long vblk_get_stat(int which) {
+    if (which == 0) { return vdev.stats.reads; }
+    if (which == 1) { return vdev.stats.writes; }
+    if (which == 2) { return vdev.stats.flushes; }
+    if (which == 3) { return vdev.stats.read_bytes; }
+    if (which == 4) { return vdev.stats.write_bytes; }
+    if (which == 5) { return vdev.stats.errors; }
+    if (which == 6) { return vdev.stats.busy; }
+    if (which == 7) { return vdev.stats.completions; }
+    if (which == 8) { return vdev.irq_count; }
+    if (which == 9) { return (long)vblk_ring_space(); }
+    if (which == 10) { return (long)vdev.q.next_to_use; }
+    if (which == 11) { return (long)vdev.q.next_to_clean; }
+    if (which == 12) { return vdev.stats.data_sig; }
+    if (which == 13) { return vdev.capacity; }
+    return -1;
+}
+
+__export long vblk_read_reg(int reg) {
+    return (long)vr32(reg);
+}
+
+/* ---- chardev ioctl (stats readout through /dev/vblk0) ----------------- */
+
+__export long vblk_ioctl(long cmd, long arg, long len) {
+    return vblk_get_stat((int)cmd);
+}
+
+__export int init_module(void) {
+    vdev.up = 0;
+    printk("vblk: module loaded");
+    return 0;
+}
+
+__export int cleanup_module(void) {
+    if (vdev.up) {
+        vblk_remove();
+    }
+    printk("vblk: module unloaded");
+    return 0;
+}
+"""
+
+
+def driver_source_lines() -> int:
+    """Non-blank source lines of the driver (for the bench metadata)."""
+    return sum(1 for line in DRIVER_SOURCE.splitlines() if line.strip())
+
+
+__all__ = ["DRIVER_NAME", "DRIVER_SOURCE", "driver_source_lines"]

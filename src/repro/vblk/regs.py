@@ -1,0 +1,82 @@
+"""Register map for the simulated virtio-style block device.
+
+The layout borrows the split-virtqueue shape of virtio-blk — a
+descriptor table plus paired avail/used rings — but flattens it into a
+legacy MMIO register file so the guarded mini-C driver programs it the
+same way it programs the e1000e: typed pointer stores through an
+ioremap'd BAR.  One request queue, 512-byte sectors, three request
+types (read, write, flush).
+"""
+
+from __future__ import annotations
+
+# Device control / status
+VCTL = 0x0000
+VSTS = 0x0004
+CAP = 0x0008            # device capacity in sectors (read-only)
+
+# Interrupts (MSI-X-style single completion vector)
+VICR = 0x0010           # interrupt cause, read-to-clear
+VIMS = 0x0014           # interrupt mask set (write 1s to unmask)
+VIMC = 0x0018           # interrupt mask clear (write 1s to mask)
+
+# Descriptor table
+DTBAL = 0x0020          # descriptor table base, low 32 bits
+DTBAH = 0x0024          # descriptor table base, high 32 bits
+DTLEN = 0x0028          # descriptor table length in bytes
+
+# Avail ring (driver -> device): u32 descriptor indexes
+AVBAL = 0x0030
+AVBAH = 0x0034
+AVH = 0x0038            # avail head: next entry the device will fetch
+AVT = 0x003C            # avail tail: doorbell — driver writes one past last posted
+
+# Used ring (device -> driver): u32 descriptor indexes
+UBAL = 0x0040
+UBAH = 0x0044
+UH = 0x0048             # used head: next entry the driver will harvest
+UT = 0x004C             # used tail: device writes one past last completed
+
+# Statistics (read-only telemetry)
+RDOPS = 0x0060          # completed read requests
+WROPS = 0x0064          # completed write requests
+FLOPS = 0x0068          # completed flush requests
+SECR = 0x006C           # sectors read
+SECW = 0x0070           # sectors written
+DERR = 0x0074           # descriptor/DMA errors
+
+# Register window size (BAR0)
+BAR_SIZE = 0x1000
+
+# VCTL bits
+VCTL_RST = 1 << 0
+VCTL_EN = 1 << 1
+
+# VSTS bits
+VSTS_READY = 1 << 0
+
+# VICR bits
+VICR_USED = 1 << 0      # used ring advanced (request completed)
+VICR_CFG = 1 << 1       # configuration change (unused; reserved)
+
+# Request descriptor layout (32 bytes):
+#   u64 sector; u64 buffer_addr; u32 length; u16 type; u8 status; u8 pad;
+#   u64 reserved
+VDESC_SIZE = 32
+VDESC_TYPE_READ = 0
+VDESC_TYPE_WRITE = 1
+VDESC_TYPE_FLUSH = 2
+VDESC_STATUS_DD = 0x01  # descriptor done
+VDESC_STATUS_ERR = 0x02 # device rejected the request
+
+SECTOR_SIZE = 512
+#: Largest single request the device accepts (8 sectors = 4 KiB).
+MAX_IO_SECTORS = 8
+
+# Default queue geometry (64 descriptors, matching the driver).
+DEFAULT_QUEUE_ENTRIES = 64
+
+# Default backing-store size: 16384 sectors = 8 MiB.
+DEFAULT_CAPACITY_SECTORS = 16384
+
+__all__ = [name for name in dir() if name.isupper()]

@@ -26,12 +26,17 @@ class TestSchedules:
             assert inj.corrupt_replica(0) is False
             assert inj.torn_batch() is False
             assert inj.quota_race() is False
+            assert inj.vblk_desc_garble() is False
+            assert inj.vblk_completion_stall_cycles() == 0.0
+            assert inj.vblk_writeback_drop() is False
         assert inj.report() == {
             "garbled_reads": 0, "stalled_frames": 0,
             "dropped_irqs": 0, "failed_xmits": 0,
             "dropped_publishes": 0, "stalled_publishes": 0,
             "corrupted_replicas": 0, "torn_batches": 0,
             "quota_race_storms": 0,
+            "garbled_descriptors": 0, "stalled_completions": 0,
+            "dropped_writebacks": 0,
         }
 
     def test_every_nth_eligible_event_faults(self):

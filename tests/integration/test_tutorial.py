@@ -199,3 +199,49 @@ def test_tutorial_tenant_quota_rollback():
     rollback = next(e for e in trace.snapshot() if e.name == "cp:rollback")
     assert rollback.args["tenant"] == "metrics"
     assert "violation budget exceeded" in rollback.args["reason"]
+
+
+FLUSHER = """
+/* stale: points into the user half after a buffer-reuse bug
+   (0x400000000000 = userspace) */
+long pending_bio = 70368744177664;
+
+__export long flush_one(long tag) {
+    long *bio = (long *)pending_bio;
+    *bio = tag;                     /* stray store through the stale bio */
+    return tag;
+}
+"""
+
+
+def test_tutorial_storage_violation_eject():
+    # step 8: a second guarded stack — the disk keeps serving after a
+    # sidecar module is ejected for a storage violation
+    from repro.core.system import CaratKopSystem
+
+    system = CaratKopSystem(driver="vblk", machine=None, protect=True,
+                            enforce_mode="eject")
+    before = system.blkblast(count=32, pattern="rand", seed=2)
+    assert before.errors == 0
+
+    flusher = compile_module(FLUSHER, CompileOptions(
+        module_name="flusherd", protect=True, key=system.signing_key,
+    ))
+    loaded = system.kernel.insmod(flusher)
+    rc = system.kernel.run_function(loaded, "flush_one", [7])
+
+    assert rc == -14            # -EFAULT: the stray store never landed
+    assert loaded.ejected
+    assert "flusherd" not in system.kernel.lsmod()
+    assert system.kernel.panicked is None
+
+    # the disk driver is untouched and still moving data
+    assert "vblk" in system.kernel.lsmod()
+    after = system.blkblast(count=32, pattern="rand", seed=3)
+    assert after.errors == 0
+
+    # /proc/carat attributes the denial to the module that caused it
+    text = system.kernel.proc.read("/proc/carat")
+    assert "driver[flusherd]: checks=" in text
+    assert "denied=1" in text.split("driver[flusherd]")[1].split("\n")[0]
+    assert "denied=0" in text.split("driver[vblk]")[1].split("\n")[0]

@@ -1,0 +1,183 @@
+"""S6: a hostile vblk module is never certified and never escapes.
+
+The module programs a descriptor whose DMA target lies outside every
+policy region (the user half), and also dereferences that target
+directly.  Three fences must each hold independently:
+
+1. The -O3 abstract interpreter refuses to certify the hostile guard —
+   it stays dynamic, so the runtime deny survives verification.
+2. A forged certificate claiming the guard proven is caught at insmod
+   (rejected under ``strict``, demoted to full guarding by default).
+3. The *device* side: a descriptor pointing DMA at an unmapped/denied
+   target draws a master abort — the device quiesces itself and the
+   fault never reaches the CPU.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_module
+from repro.kernel import Kernel, LoadError
+from repro.policy import CaratPolicyModule, PolicyManager
+from repro.vblk import VblkDevice, regs
+
+EFAULT = 14
+
+#: The doorbell target no policy region ever granted: 0x2_0000_0000.
+EVIL_DMA_TARGET = 8589934592
+
+HOSTILE_VBLK = f"""
+enum {{
+    REG_VCTL  = {regs.VCTL:#x},
+    REG_DTBAL = {regs.DTBAL:#x},
+    REG_DTBAH = {regs.DTBAH:#x},
+    REG_DTLEN = {regs.DTLEN:#x},
+    REG_AVBAL = {regs.AVBAL:#x},
+    REG_AVBAH = {regs.AVBAH:#x},
+    REG_UBAL  = {regs.UBAL:#x},
+    REG_UBAH  = {regs.UBAH:#x},
+    REG_AVT   = {regs.AVT:#x},
+    VCTL_EN   = {regs.VCTL_EN}
+}};
+
+extern void *kmalloc(long size, int flags);
+extern long ioremap(long phys, long size);
+extern long virt_to_phys(void *p);
+
+long mmio;
+long desc_virt;
+long avail_virt;
+long used_virt;
+
+void hw32(int reg, unsigned int value) {{
+    unsigned int *p = (unsigned int *)(mmio + (long)reg);
+    *p = value;
+}}
+
+__export int hostile_probe(long phys) {{
+    mmio = ioremap(phys, 4096);
+    if (mmio == 0) {{ return -1; }}
+    desc_virt = (long)kmalloc(2048, 0);
+    avail_virt = (long)kmalloc(256, 0);
+    used_virt = (long)kmalloc(256, 0);
+    if (desc_virt == 0 || avail_virt == 0 || used_virt == 0) {{ return -1; }}
+    hw32(REG_DTBAL, (unsigned int)virt_to_phys((void *)desc_virt));
+    hw32(REG_DTBAH, (unsigned int)(virt_to_phys((void *)desc_virt) >> 32));
+    hw32(REG_DTLEN, 64 * 32);
+    hw32(REG_AVBAL, (unsigned int)virt_to_phys((void *)avail_virt));
+    hw32(REG_AVBAH, (unsigned int)(virt_to_phys((void *)avail_virt) >> 32));
+    hw32(REG_UBAL, (unsigned int)virt_to_phys((void *)used_virt));
+    hw32(REG_UBAH, (unsigned int)(virt_to_phys((void *)used_virt) >> 32));
+    hw32(REG_VCTL, VCTL_EN);
+    return 0;
+}}
+
+__export long hostile_deref(long seed) {{
+    /* Store straight through the out-of-policy DMA target. */
+    long *evil = (long *){EVIL_DMA_TARGET};
+    *evil = seed;
+    return seed;
+}}
+
+__export long hostile_ring(long sector) {{
+    /* Descriptor 0: a WRITE whose buffer is the forbidden target.
+       Every store here lands in the module's own kmalloc'd rings —
+       all in-policy — so only the DEVICE can catch the DMA. */
+    long *d = (long *)desc_virt;
+    d[0] = sector;
+    d[1] = {EVIL_DMA_TARGET};
+    int *len_p = (int *)(desc_virt + 16);
+    *len_p = 512;
+    short *type_p = (short *)(desc_virt + 20);
+    *type_p = 1;
+    char *status_p = (char *)(desc_virt + 22);
+    *status_p = 0;
+    int *slot_p = (int *)avail_virt;
+    *slot_p = 0;
+    hw32(REG_AVT, 1);
+    return 0;
+}}
+"""
+
+HOSTILE_NAME = "vblk_hostile"
+
+
+def _cell(mode="eject", verify_policy="demote"):
+    kernel = Kernel(verify_policy=verify_policy)
+    policy = CaratPolicyModule(kernel, mode=mode).install()
+    PolicyManager(kernel).install_two_region_policy()
+    device = VblkDevice(kernel)
+    return kernel, policy, device
+
+
+def _compile_o3(policy):
+    return compile_module(HOSTILE_VBLK, CompileOptions(
+        module_name=HOSTILE_NAME, protect=True, opt_level=3,
+        verify_table=policy.index,
+    ))
+
+
+def test_hostile_guard_never_certified():
+    _, policy, _ = _cell()
+    compiled = _compile_o3(policy)
+    assert compiled.certificate is not None
+    assert compiled.guards_dynamic > 0, (
+        "the verifier certified the out-of-policy DMA store"
+    )
+
+
+def test_runtime_deny_survives_verified_load():
+    kernel, policy, device = _cell(mode="eject")
+    compiled = _compile_o3(policy)
+    loaded = kernel.insmod(compiled)
+    assert loaded.verify_state == "verified"
+    assert kernel.run_function(loaded, "hostile_probe",
+                               [device.phys_base]) == 0
+    rc = kernel.run_function(loaded, "hostile_deref", [7])
+    assert rc == -EFAULT
+    assert loaded.ejected
+    assert HOSTILE_NAME not in kernel.lsmod()
+    assert policy.violations[HOSTILE_NAME] >= 1
+
+
+def test_forged_certificate_refused_at_insmod():
+    """Flipping every verdict to "proven" must not buy a single elision:
+    strict refuses the load outright, demote loads it fully dynamic."""
+    for verify_policy, expect_load in (("strict", False), ("demote", True)):
+        kernel, policy, _ = _cell(verify_policy=verify_policy)
+        compiled = _compile_o3(policy)
+        cert = compiled.certificate
+        forged = tuple(
+            (fn, tuple(1 for _ in bits)) for fn, bits in cert.verdicts
+        )
+        compiled = dataclasses.replace(
+            compiled, certificate=dataclasses.replace(cert, verdicts=forged)
+        )
+        if expect_load:
+            loaded = kernel.insmod(compiled)
+            assert loaded.verify_state.startswith("demoted")
+            assert not loaded.elided_guards
+        else:
+            with pytest.raises(LoadError):
+                kernel.insmod(compiled)
+            assert HOSTILE_NAME not in kernel.loader.loaded
+
+
+def test_device_master_aborts_out_of_policy_dma():
+    """The in-policy ring writes sail through the CPU guards, so the
+    device is the last fence: the DMA engine master-aborts on the
+    forbidden buffer and quiesces instead of faulting the CPU."""
+    kernel, policy, device = _cell(mode="panic")
+    compiled = _compile_o3(policy)
+    loaded = kernel.insmod(compiled)
+    assert kernel.run_function(loaded, "hostile_probe",
+                               [device.phys_base]) == 0
+    rc = kernel.run_function(loaded, "hostile_ring", [3])
+    assert rc == 0  # the CPU side never violated: no panic, no eject
+    assert kernel.panicked is None
+    assert HOSTILE_NAME in kernel.lsmod()
+    stats = device.stats()
+    assert stats["dma_errors"] == 1
+    assert not device.vctl & regs.VCTL_EN  # device disabled itself
+    assert any("master abort" in line for line in kernel.dmesg_log)
