@@ -14,6 +14,7 @@ from .harness import (
     run_fig5,
     run_fig6,
     run_fig7,
+    run_figblk,
     throughput_samples,
 )
 from .report import PAPER_CLAIMS, check_figure, experiments_md_rows, render_figure
@@ -40,6 +41,7 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fig7",
+    "run_figblk",
     "stats",
     "throughput_samples",
 ]

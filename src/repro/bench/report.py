@@ -14,6 +14,8 @@ PAPER_CLAIMS = {
     "fig5": "ordering baseline >= carat >= carat16 >= carat64, all within ~1%",
     "fig6": "slowdown <= ~1.025, concentrated at small packets, ~1.0 by 1500B",
     "fig7": "near-identical latency histograms; medians within ~1%",
+    "figblk": "extension: per-CPU queues >= 2x shared-queue iops at 4 "
+              "CPUs; identical block-store image across all cells",
 }
 
 
@@ -59,6 +61,14 @@ def check_figure(result: FigureResult) -> tuple[bool, str]:
             f"medians base={base:.0f}cy carat={carat:.0f}cy "
             f"(delta {delta * 100:.2f}%)"
         )
+    if fid == "figblk":
+        speedup = float(result.meta["speedup_c4"])
+        identical = bool(result.meta["digest_identical"])
+        ok = speedup >= 2.0 and identical
+        return ok, (
+            f"mq/sq speedup at 4 CPUs {speedup:.2f}x, store digests "
+            f"{'identical' if identical else 'DIVERGED'}"
+        )
     raise ValueError(f"unknown figure {fid}")
 
 
@@ -78,6 +88,12 @@ def render_figure(result: FigureResult, width: int = 64) -> str:
         for size, v in result.series.items():
             bar = "#" * int((float(v[0]) - 1.0) * 2000)
             lines.append(f"  {size:>5}  {float(v[0]):.4f} {bar}")
+    elif fid == "figblk":
+        for name, med in result.medians().items():
+            lines.append(f"  median[{name}] = {med:,.0f} iops")
+        lines.append(
+            f"  speedup (mq-c4 / sq-c4): {result.meta['speedup_c4']:.2f}x"
+        )
     elif fid == "fig7":
         shown = {
             k: [x for x in v if x < 4 * np.median(v)]

@@ -315,8 +315,14 @@ def blkblast_main(argv: list[str] | None = None) -> int:
         "--smp-seed", type=int, default=0,
         help="round-robin scheduler seed (0 = unsharded global order)",
     )
+    ap.add_argument(
+        "--queues", default="auto", choices=["1", "2", "3", "4", "auto"],
+        help="vblk I/O queue pairs (NVMe-style): auto = one per CPU "
+             "(default), 1 = the historic single shared queue",
+    )
     args = ap.parse_args(argv)
 
+    queues = args.queues if args.queues == "auto" else int(args.queues)
     system = CaratKopSystem(
         SystemConfig(
             machine=args.machine, driver="vblk", protect=not args.baseline,
@@ -324,7 +330,7 @@ def blkblast_main(argv: list[str] | None = None) -> int:
             enforce_mode=args.enforce_mode,
             cpus=args.cpus, smp_seed=args.smp_seed,
             opt_level=args.opt_level, policy_index=args.policy_index,
-            verify_policy=args.verify_policy,
+            verify_policy=args.verify_policy, queues=queues,
         )
     )
     profiler = None
@@ -348,6 +354,15 @@ def blkblast_main(argv: list[str] | None = None) -> int:
         f"moved: {result.bytes_read:,} bytes read, "
         f"{result.bytes_written:,} bytes written"
     )
+    for row in system.device.queue_stats():
+        if not row["created"] or (row["queue"] != 0 and not row["doorbells"]):
+            continue
+        kind = "admin" if row["queue"] == 0 else "io"
+        print(
+            f"queue[{row['queue']}] ({kind}): {row['doorbells']} doorbells, "
+            f"{row['fetched']} fetched, {row['completed']} completed, "
+            f"{row['errors']} errors"
+        )
     if args.latency and result.latencies:
         lat = sorted(result.latencies)
         mid = lat[len(lat) // 2]
@@ -399,6 +414,12 @@ def soak_main(argv: list[str] | None = None) -> int:
     ap.add_argument("--vblk-desc-garble-period", type=int, default=9)
     ap.add_argument("--vblk-stall-period", type=int, default=17)
     ap.add_argument("--vblk-writeback-drop-period", type=int, default=23)
+    ap.add_argument("--vblk-doorbell-drop-period", type=int, default=27,
+                    help="swallow every Nth queue doorbell kick (0 = off)")
+    ap.add_argument("--vblk-cq-stall-period", type=int, default=31,
+                    help="stall every Nth completion-queue drain (0 = off)")
+    ap.add_argument("--blk-cpus", type=int, default=2,
+                    help="CPUs (= I/O queues) for the vblk soak half")
     ap.add_argument("--report", metavar="FILE",
                     help="write the JSON violation/recovery report here")
     args = ap.parse_args(argv)
@@ -415,13 +436,15 @@ def soak_main(argv: list[str] | None = None) -> int:
             vblk_desc_garble_period=args.vblk_desc_garble_period,
             vblk_stall_period=args.vblk_stall_period,
             vblk_writeback_drop_period=args.vblk_writeback_drop_period,
+            vblk_doorbell_drop_period=args.vblk_doorbell_drop_period,
+            vblk_cq_stall_period=args.vblk_cq_stall_period,
         )
     try:
         report = run_soak(
             cycles=args.cycles, machine=args.machine, engine=args.engine,
             blast_size=args.size, blast_count=args.count, injector=injector,
             vblk=not args.no_vblk, blk_count=args.blk_count,
-            vblk_injector=vblk_injector,
+            vblk_injector=vblk_injector, blk_cpus=args.blk_cpus,
         )
         failed = None
     except SoakError as e:
@@ -459,7 +482,9 @@ def soak_main(argv: list[str] | None = None) -> int:
             f"vblk faults injected: "
             f"{vinj['garbled_descriptors']} torn descriptors, "
             f"{vinj['stalled_completions']} media stalls, "
-            f"{vinj['dropped_writebacks']} dropped write-backs"
+            f"{vinj['dropped_writebacks']} dropped write-backs, "
+            f"{vinj.get('dropped_doorbells', 0)} dropped doorbells, "
+            f"{vinj.get('stalled_cqs', 0)} CQ stalls"
         )
     if failed is not None:
         print(f"FAILED: {failed}", file=sys.stderr)
@@ -591,6 +616,16 @@ def bench_main(argv: list[str] | None = None) -> int:
         help="region-table structure for fig3 (default: interval)",
     )
     ap.add_argument(
+        "--queues", default="auto", choices=["1", "2", "3", "4", "auto"],
+        help="vblk I/O queue pairs for the multi-queue cells of the "
+             "block figure (figblk); auto = one per CPU (default)",
+    )
+    ap.add_argument(
+        "--blk-trials", type=int, default=5,
+        help="fully-executed trials per figblk cell (every op runs on "
+             "the VM, so this is costlier than --trials)",
+    )
+    ap.add_argument(
         "--markdown", action="store_true",
         help="emit the EXPERIMENTS.md paper-vs-measured summary table",
     )
@@ -613,6 +648,9 @@ def bench_main(argv: list[str] | None = None) -> int:
             return 2
         if fid == "fig7":
             result = runner()
+        elif fid == "figblk":
+            queues = args.queues if args.queues == "auto" else int(args.queues)
+            result = runner(trials=args.blk_trials, queues=queues)
         elif fid == "fig3":
             # The throughput figure is the one the guard-optimizer tier
             # parameterizes; the rest keep their paper configuration.

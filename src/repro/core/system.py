@@ -68,6 +68,10 @@ class SystemConfig:
     #: Rotates the round-robin scheduler's starting CPU (determinism
     #: experiments; 0 reproduces the unsharded global order exactly).
     smp_seed: int = 0
+    #: vblk I/O queue pairs (NVMe-style, 1..4): "auto" = one per CPU
+    #: (capped at the device's 4 blocks), an int pins the count.  1 keeps
+    #: the single-shared-queue behaviour.  Ignored for the e1000e stack.
+    queues: Union[int, str] = 1
 
 
 class CaratKopSystem:
@@ -133,6 +137,7 @@ class CaratKopSystem:
                 self.kernel,
                 clock=(lambda: self.kernel.vm.timing.cycles) if machine else None,
                 freq_hz=machine.freq_hz if machine else None,
+                merge_seed=cfg.smp_seed,
             )
         else:
             raise ValueError(f"unknown driver {cfg.driver!r}")
@@ -173,12 +178,30 @@ class CaratKopSystem:
             self.netdev = None
             self.socket = None
             self.blaster = None
-            self.blkdev = VblkBlockDev(self.kernel, self.driver, self.device)
+            self.blkdev = VblkBlockDev(
+                self.kernel, self.driver, self.device,
+                queues=self.resolved_queues(),
+            )
             self.blkdev.probe()
             self.blkqueue = BlockRequestQueue(self.kernel, self.blkdev, machine)
             self.blkblaster = BlockBlaster(self.blkqueue)
 
     # -- convenience --------------------------------------------------------
+
+    def resolved_queues(self) -> int:
+        """The vblk I/O queue count: "auto" maps one queue per CPU,
+        capped at the device's fixed block count."""
+        from ..vblk import regs as vblk_regs
+        queues = self.config.queues
+        if queues == "auto":
+            return max(1, min(self.config.cpus, vblk_regs.MAX_IO_QUEUES))
+        queues = int(queues)
+        if not 1 <= queues <= vblk_regs.MAX_IO_QUEUES:
+            raise ValueError(
+                f"queues must be 1..{vblk_regs.MAX_IO_QUEUES} or 'auto', "
+                f"got {queues}"
+            )
+        return queues
 
     @property
     def technique(self) -> str:
@@ -233,7 +256,10 @@ class CaratKopSystem:
             self.blaster = PacketBlaster(self.socket)
         else:
             from ..vblk import BlockBlaster, BlockRequestQueue, VblkBlockDev
-            self.blkdev = VblkBlockDev(self.kernel, self.driver, self.device)
+            self.blkdev = VblkBlockDev(
+                self.kernel, self.driver, self.device,
+                queues=self.resolved_queues(),
+            )
             self.blkdev.probe()
             self.blkqueue = BlockRequestQueue(
                 self.kernel, self.blkdev, machine,

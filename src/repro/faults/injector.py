@@ -31,6 +31,15 @@ vblk hooks (consumed by :class:`repro.vblk.device.VblkDevice`):
 - :meth:`vblk_writeback_drop` — every Nth used-ring write-back is lost
   on the bus; the device's retry engine replays it once a beat later,
   preserving completion order.
+- :meth:`vblk_doorbell_drop` — every Nth submission doorbell latches
+  the new tail in the register file but the kick event is swallowed on
+  the bus; the device's ring scan (any later sync, cause read, or
+  doorbell) picks the posted work up, so no request is ever lost.
+- :meth:`vblk_cq_stall_cycles` — every Nth completion-queue drain with
+  matured entries hiccups: everything matured on that queue is
+  deferred together (per-queue FIFO order preserved).  Untimed runs
+  count the event but complete on the same pass, so the functional
+  model never hangs.
 
 Control-plane hooks (consumed by
 :class:`repro.policy.controlplane.PolicyControlPlane`):
@@ -79,6 +88,9 @@ class FaultInjector:
         vblk_stall_period: int = 0,
         vblk_stall_cycles: float = 30_000.0,
         vblk_writeback_drop_period: int = 0,
+        vblk_doorbell_drop_period: int = 0,
+        vblk_cq_stall_period: int = 0,
+        vblk_cq_stall_cycles: float = 45_000.0,
         publish_drop_period: int = 0,
         publish_stall_period: int = 0,
         replica_corrupt_period: int = 0,
@@ -93,6 +105,8 @@ class FaultInjector:
             ("vblk_desc_garble_period", vblk_desc_garble_period),
             ("vblk_stall_period", vblk_stall_period),
             ("vblk_writeback_drop_period", vblk_writeback_drop_period),
+            ("vblk_doorbell_drop_period", vblk_doorbell_drop_period),
+            ("vblk_cq_stall_period", vblk_cq_stall_period),
             ("publish_drop_period", publish_drop_period),
             ("publish_stall_period", publish_stall_period),
             ("replica_corrupt_period", replica_corrupt_period),
@@ -110,6 +124,9 @@ class FaultInjector:
         self.vblk_stall_period = vblk_stall_period
         self._vblk_stall_cycles = float(vblk_stall_cycles)
         self.vblk_writeback_drop_period = vblk_writeback_drop_period
+        self.vblk_doorbell_drop_period = vblk_doorbell_drop_period
+        self.vblk_cq_stall_period = vblk_cq_stall_period
+        self._vblk_cq_stall_cycles = float(vblk_cq_stall_cycles)
         self.publish_drop_period = publish_drop_period
         self.publish_stall_period = publish_stall_period
         self.replica_corrupt_period = replica_corrupt_period
@@ -123,6 +140,8 @@ class FaultInjector:
         self._vblk_descs = 0
         self._vblk_completions = 0
         self._vblk_writebacks = 0
+        self._vblk_doorbells = 0
+        self._vblk_cq_drains = 0
         self._publish_installs = 0
         self._grace_waits = 0
         self._replica_installs = 0
@@ -136,6 +155,8 @@ class FaultInjector:
         self.garbled_descriptors = 0
         self.stalled_completions = 0
         self.dropped_writebacks = 0
+        self.dropped_doorbells = 0
+        self.stalled_cqs = 0
         self.dropped_publishes = 0
         self.stalled_publishes = 0
         self.corrupted_replicas = 0
@@ -230,6 +251,33 @@ class FaultInjector:
             return True
         return False
 
+    def vblk_doorbell_drop(self) -> bool:
+        """True = this submission doorbell's kick event is swallowed.
+
+        The tail value still latches in the register file, so the
+        device's next ring scan recovers the posted work — a lost
+        *event*, never a lost *request*."""
+        if self.vblk_doorbell_drop_period == 0:
+            return False
+        self._vblk_doorbells += 1
+        if self._vblk_doorbells % self.vblk_doorbell_drop_period == 0:
+            self.dropped_doorbells += 1
+            self._emit("vblk_doorbell_drop")
+            return True
+        return False
+
+    def vblk_cq_stall_cycles(self) -> float:
+        """Extra write-back deferral for every Nth CQ drain that has
+        matured completions pending (0.0 = drain normally)."""
+        if self.vblk_cq_stall_period == 0:
+            return 0.0
+        self._vblk_cq_drains += 1
+        if self._vblk_cq_drains % self.vblk_cq_stall_period == 0:
+            self.stalled_cqs += 1
+            self._emit("vblk_cq_stall", cycles=self._vblk_cq_stall_cycles)
+            return self._vblk_cq_stall_cycles
+        return 0.0
+
     # -- control-plane hooks -------------------------------------------------
 
     def drop_publish(self, cpu: int) -> bool:
@@ -321,6 +369,8 @@ class FaultInjector:
             "garbled_descriptors": self.garbled_descriptors,
             "stalled_completions": self.stalled_completions,
             "dropped_writebacks": self.dropped_writebacks,
+            "dropped_doorbells": self.dropped_doorbells,
+            "stalled_cqs": self.stalled_cqs,
             "dropped_publishes": self.dropped_publishes,
             "stalled_publishes": self.stalled_publishes,
             "corrupted_replicas": self.corrupted_replicas,

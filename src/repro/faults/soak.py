@@ -11,9 +11,14 @@ repeatable).
 Each cycle also runs the same violation->eject->recovery arc on a
 second system assembled around the vblk block stack (its own kernel,
 its own fault schedule: torn descriptors, media stalls, dropped
-used-ring write-backs), so the soak certifies graceful enforcement on
-both guarded device stacks, not just the NIC.  Pass ``vblk=False`` for
-the historic NIC-only soak.
+used-ring write-backs, dropped doorbells, stalled completion queues),
+so the soak certifies graceful enforcement on both guarded device
+stacks, not just the NIC.  The vblk half runs multi-queue by default
+(``blk_cpus`` CPUs, one I/O queue pair each) and audits after every
+blast that every queue pair quiesced — no bio stranded on any
+submission ring, none leaked in flight — despite the dropped doorbells
+and CQ stalls underneath.  Pass ``vblk=False`` for the historic
+NIC-only soak.
 """
 
 from __future__ import annotations
@@ -96,6 +101,8 @@ def run_soak(
     vblk: bool = True,
     blk_count: int = 16,
     vblk_injector: Optional[FaultInjector] = None,
+    blk_cpus: int = 2,
+    blk_queues="auto",
 ) -> dict:
     """Run ``cycles`` violation->eject->recovery cycles; returns a report.
 
@@ -125,12 +132,15 @@ def run_soak(
         vsystem = CaratKopSystem(SystemConfig(
             machine=machine, driver="vblk", protect=True,
             enforce_mode="eject", engine=engine,
+            cpus=blk_cpus, queues=blk_queues,
         ))
         if vblk_injector is None:
             vblk_injector = FaultInjector(
                 vblk_desc_garble_period=9,
                 vblk_stall_period=17,
                 vblk_writeback_drop_period=23,
+                vblk_doorbell_drop_period=27,
+                vblk_cq_stall_period=31,
             )
         vblk_injector.attach(vsystem)
         vhostile = compile_module(
@@ -312,6 +322,23 @@ def _run_vblk_cycle(cycle, system, hostile, report, check,
                           seed=cycle + 1)
     check(res.ops_done == blk_count,
           f"cycle {cycle}: block stack moved {res.ops_done}/{blk_count} ops")
+    # Multi-queue quiesce audit: after the blast (run under dropped
+    # doorbells and stalled completion queues), every queue pair must
+    # drain completely — no bio may be stranded on any submission ring
+    # (avail head caught up to the doorbelled tail) or left in flight in
+    # the device's completion engine.
+    system.device.sync()
+    for q in system.device.queues:
+        check(not q.in_flight,
+              f"cycle {cycle}: queue {q.qid} leaked "
+              f"{len(q.in_flight)} in-flight bio(s)")
+        if q.created:
+            check(q.avh == q.avt,
+                  f"cycle {cycle}: queue {q.qid} stranded "
+                  f"{(q.avt - q.avh) & 0xFFFFFFFF} submitted bio(s)")
+            check(q.fetched == q.completed,
+                  f"cycle {cycle}: queue {q.qid} fetched {q.fetched} "
+                  f"but completed {q.completed}")
     report["blk_ops_done"] += res.ops_done
     report["vblk_ejections"] += 1
     report["per_cycle"][-1]["vblk_rc"] = rc

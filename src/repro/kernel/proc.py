@@ -141,6 +141,24 @@ class ProcFS:
                     f"denied={row['denied']}"
                 )
         kernel = self.kernel
+        # Per-queue block-device accounting (NVMe-style multi-queue vblk):
+        # one row per created queue, admin queue first.  The provider is
+        # pure host-side device state, so rendering never runs module
+        # code or advances the simulated clock.
+        blk_queues = getattr(kernel, "blk_queue_stats", None)
+        if blk_queues is not None:
+            for row in blk_queues():
+                if not row["created"]:
+                    continue
+                kind = "admin" if row["queue"] == 0 else "io"
+                lines.append(
+                    f"queue[{row['queue']}]: {kind} "
+                    f"doorbells={row['doorbells']} "
+                    f"fetched={row['fetched']} "
+                    f"completed={row['completed']} "
+                    f"errors={row['errors']} "
+                    f"in_flight={row['in_flight']}"
+                )
         # Per-module guard-optimizer counters (what each module's -O level
         # removed/hoisted/coalesced at compile time).
         for name, mod in sorted(kernel.loader.loaded.items()):

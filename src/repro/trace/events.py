@@ -70,9 +70,11 @@ EVENT_SCHEMA: dict[str, tuple[str, tuple[str, ...]]] = {
     "dma:fetch": ("dma", ("index", "addr", "len")),
     "dma:writeback": ("dma", ("index",)),
     "dma:rx": ("dma", ("index", "len")),
-    # Block device queue engine (descriptor fetch, completion write-back).
-    "vblk:fetch": ("vblk", ("index", "sector", "len", "op")),
-    "vblk:complete": ("vblk", ("index", "status")),
+    # Block device queue engine (doorbell ring, descriptor fetch,
+    # completion write-back) — every event carries its queue id.
+    "vblk:doorbell": ("vblk", ("queue", "tail")),
+    "vblk:fetch": ("vblk", ("queue", "index", "sector", "len", "op")),
+    "vblk:complete": ("vblk", ("queue", "index", "status")),
     # The user/kernel boundary.
     "syscall:enter": ("syscall", ("name", "bytes")),
     "syscall:exit": ("syscall", ("name", "rc", "cycles", "stalled")),

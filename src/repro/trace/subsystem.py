@@ -231,6 +231,26 @@ class TraceSubsystem:
                         f"{name:<12} checks={row['checks']} "
                         f"denied={row['denied']}"
                     )
+        blk_queues = getattr(self.kernel, "blk_queue_stats", None)
+        if blk_queues is not None:
+            rows = blk_queues()
+            if rows:
+                # Per-queue device-side accounting (NVMe-style multi
+                # queue): one row per queue block, admin queue first.
+                # Pure host-side state — rendering never runs module
+                # code or moves the simulated clock.
+                lines += ["", "[blk queues]"]
+                for row in rows:
+                    kind = "admin" if row["queue"] == 0 else "io"
+                    state = "created" if row["created"] else "absent"
+                    lines.append(
+                        f"q{row['queue']:<3} {kind:<6} {state:<8} "
+                        f"doorbells={row['doorbells']} "
+                        f"fetched={row['fetched']} "
+                        f"completed={row['completed']} "
+                        f"errors={row['errors']} "
+                        f"in_flight={row['in_flight']}"
+                    )
         loader = getattr(self.kernel, "loader", None)
         if loader is not None and loader.loaded:
             # Compile-time guard-optimizer work per module: how many

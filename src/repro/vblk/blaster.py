@@ -7,6 +7,16 @@ hot-spot (most requests concentrated in a small window).  Every request
 is derived purely from its stream sequence number and the seed, so the
 round-robin CPU sharding reconstructs the exact single-CPU global order
 for any CPU count (the pktblast determinism contract).
+
+Under the NVMe-style multi-queue device each CPU owns its queue pair
+end-to-end: the shard running on CPU ``k`` submits through the blkdev
+layer onto I/O queue ``1 + (k % nq)`` with no cross-queue locking, and
+harvests only that queue's completions.  Determinism across 1/2/4 CPUs
+therefore no longer comes from draining one shared ring — it comes from
+the device's completion-merge contract (per-queue FIFO, cross-queue
+rotation seeded by ``merge_seed``) combined with data moving at
+doorbell time in global submission order, which the round-robin shard
+interleaving reproduces for any CPU count.
 """
 
 from __future__ import annotations

@@ -9,6 +9,14 @@ module code and runs under the guards.  ``BlockRequestQueue`` is the
 user/kernel boundary on top: per request it charges syscall entry/exit,
 block-layer traversal, and the payload copy, then runs the guarded
 submit — the storage twin of ``RawPacketSocket.sendmsg``.
+
+Multi-queue dispatch happens here, blk-mq style: the blkdev is probed
+with ``queues`` I/O pairs and every submission runs on the *calling
+CPU's* queue (``1 + cpu % queues``) with no cross-queue locking — CPU
+k's stream is queue k's stream end to end.  Because the device moves
+data synchronously at each doorbell in global submission order, the
+final media image is independent of the queue count; only queue-full
+stalls (and therefore cycles) change with the mapping.
 """
 
 from __future__ import annotations
@@ -43,6 +51,11 @@ STAT_NAMES = (
     "capacity",
 )
 
+#: vblk_get_stat selector bases for the per-queue driver counters.
+STAT_NQ = 14
+STAT_Q_SUBMITTED = 20
+STAT_Q_COMPLETED = 30
+
 OP_READ = regs.VDESC_TYPE_READ
 OP_WRITE = regs.VDESC_TYPE_WRITE
 OP_FLUSH = regs.VDESC_TYPE_FLUSH
@@ -51,10 +64,18 @@ OP_FLUSH = regs.VDESC_TYPE_FLUSH
 class VblkBlockDev:
     """One registered block disk backed by the driver module."""
 
-    def __init__(self, kernel: Kernel, module: LoadedModule, device: VblkDevice):
+    def __init__(self, kernel: Kernel, module: LoadedModule,
+                 device: VblkDevice, queues: int = 1):
+        if not 1 <= queues <= regs.MAX_IO_QUEUES:
+            raise ValueError(
+                f"queues must be 1..{regs.MAX_IO_QUEUES}, got {queues}"
+            )
         self.kernel = kernel
         self.module = module
         self.device = device
+        #: I/O queue pairs the driver brings up at probe; submissions on
+        #: CPU k land on queue ``1 + k % queues``.
+        self.queues = queues
         self._probed = False
         #: Fault-injection hook (see :mod:`repro.faults`).  The device
         #: model carries the vblk hooks; the glue keeps the attribute so
@@ -63,26 +84,32 @@ class VblkBlockDev:
         # Slot-keyed: re-probing after an eject replaces the hook instead
         # of stacking a stale one per recovery cycle.
         kernel.register_eject_hook(module.name, self._on_eject, slot="blkdev")
+        #: /proc feed: per-queue device telemetry (pure host-side state,
+        #: so rendering /proc never runs module code or moves the clock).
+        kernel.blk_queue_stats = self.device.queue_stats
 
     def _on_eject(self, loaded: LoadedModule) -> None:
         """Quiesce the hardware before the journal frees the driver's
-        queue: stop the queue engine, mask the completion vector, and
-        drop in-flight requests, so no write-back touches rolled-back
-        memory."""
+        rings: stop the queue engine, mask every completion vector, and
+        drop in-flight requests on ALL queues, so no write-back touches
+        rolled-back memory."""
         dev = self.device
         dev.vctl &= ~regs.VCTL_EN
         dev.vims = 0
         dev.vicr = 0
-        dev._in_flight.clear()
+        for q in dev.queues:
+            q.in_flight.clear()
         self._probed = False
         self.kernel.dmesg(
-            f"vblk blkdev: quiesced after eject of {loaded.name}"
+            f"vblk blkdev: quiesced {len(dev.queues)} queues after eject "
+            f"of {loaded.name}"
         )
 
     def probe(self) -> None:
-        """The PCI-subsystem callback: hand the driver its BAR."""
+        """The PCI-subsystem callback: hand the driver its BAR and the
+        number of I/O queue pairs to bring into service."""
         rc = self.kernel.run_function(
-            self.module, "vblk_probe", [self.device.phys_base]
+            self.module, "vblk_probe", [self.device.phys_base, self.queues]
         )
         if rc != 0:
             raise RuntimeError(f"vblk_probe failed: {rc}")
@@ -93,9 +120,14 @@ class VblkBlockDev:
             self.kernel.run_function(self.module, "vblk_remove", [])
             self._probed = False
 
+    def _queue_for_cpu(self) -> int:
+        """blk-mq dispatch: the calling CPU's own queue, 1-based."""
+        return 1 + (self.kernel.smp.current % self.queues)
+
     def _submit(self, buf: int, sector: int, length: int, op: int) -> int:
         rc = self.kernel.run_function(
-            self.module, "vblk_submit_io", [buf, sector, length, op]
+            self.module, "vblk_submit_io",
+            [buf, sector, length, op, self._queue_for_cpu()],
         )
         # The VM returns the unsigned i32 bit pattern; errnos are
         # negative, so re-sign it.
@@ -138,7 +170,8 @@ class VblkBlockDev:
             alloc.kfree(buf)
 
     def flush(self) -> int:
-        """Issue a cache-flush barrier."""
+        """Issue a cache-flush barrier (drains the submitting queue's
+        write cache — the NVMe per-queue flush semantic)."""
         alloc = self.kernel.kmalloc_allocator
         # The contract says arg 0 is always a real request buffer; honour
         # it even though a flush moves no data.
@@ -149,14 +182,21 @@ class VblkBlockDev:
             alloc.kfree(buf)
 
     def poll_completions(self) -> int:
-        """Explicit used-ring harvest (the polling-mode service path)."""
+        """Explicit harvest of every queue (the polling-mode service path)."""
         return self.kernel.run_function(self.module, "vblk_poll", [])
 
     def enable_interrupts(self) -> int:
-        """Switch from polling to interrupt-driven completion harvest."""
-        return self.kernel.run_function(
-            self.module, "vblk_irq_enable", [self.device.irq_line]
-        )
+        """Switch from polling to interrupt-driven completion harvest:
+        one MSI-X-style vector per queue block (admin + each I/O pair),
+        each bound to that queue's own ISR."""
+        for qi in range(self.queues + 1):
+            rc = self.kernel.run_function(
+                self.module, "vblk_irq_enable_q",
+                [qi, self.device.irq_lines[qi]],
+            )
+            if rc != 0:
+                return rc - (1 << 32) if rc >= 1 << 31 else rc
+        return 0
 
     def disable_interrupts(self) -> int:
         return self.kernel.run_function(self.module, "vblk_irq_disable", [])
@@ -175,6 +215,22 @@ class VblkBlockDev:
             out[name] = v
         return out
 
+    def queue_io_stats(self) -> list[dict[str, int]]:
+        """Driver-side per-queue submit/complete counters (via the
+        guarded ``vblk_get_stat`` path), one row per queue block."""
+        rows = []
+        for qi in range(regs.NUM_QUEUE_BLOCKS):
+            rows.append({
+                "queue": qi,
+                "submitted": self.kernel.run_function(
+                    self.module, "vblk_get_stat", [STAT_Q_SUBMITTED + qi]
+                ),
+                "completed": self.kernel.run_function(
+                    self.module, "vblk_get_stat", [STAT_Q_COMPLETED + qi]
+                ),
+            })
+        return rows
+
     def read_reg(self, reg: int) -> int:
         return self.kernel.run_function(self.module, "vblk_read_reg", [reg])
 
@@ -192,9 +248,9 @@ class BlockRequestQueue:
 
     Charges the same boundary costs the packet socket charges — syscall
     entry/exit, stack traversal, per-byte copy — then runs the guarded
-    driver submit.  Queue-full handling mirrors the paper's outliers:
-    on EBUSY the caller is descheduled, the device drains, and the
-    retry goes through.
+    driver submit on the calling CPU's own queue.  Queue-full handling
+    mirrors the paper's outliers: on EBUSY the caller is descheduled,
+    the device drains, and the retry goes through.
     """
 
     def __init__(self, kernel: Kernel, blkdev: VblkBlockDev,
@@ -235,7 +291,7 @@ class BlockRequestQueue:
             self.stalls += 1
             if timing is not None and self.machine is not None:
                 timing.add_cycles(self.machine.deschedule_cycles * attempt)
-            # While the caller slept, the device drained its queue and
+            # While the caller slept, the device drained its queues and
             # wrote completions back.
             self.blkdev.device.sync()
             rc, data = op()
@@ -270,6 +326,9 @@ __all__ = [
     "OP_WRITE",
     "BlockRequestQueue",
     "STAT_NAMES",
+    "STAT_NQ",
+    "STAT_Q_COMPLETED",
+    "STAT_Q_SUBMITTED",
     "SubmitResult",
     "VblkBlockDev",
 ]

@@ -9,43 +9,78 @@ kernel-enforced fact:
 
 - ``vblk_submit_io``'s data pointer is the request buffer the blkdev
   layer hands in, always a ``kmalloc``-backed (direct-map) allocation of
-  at least one maximum-size request.
+  at least one maximum-size request; its queue id is computed by the
+  block layer as ``1 + (cpu % nq)`` and so always lands in 1..NQ_MAX.
 - ``vblk_read_reg`` is reached only through paths that mask the register
   offset to the BAR window before calling.
+- ``vblk_poll_q`` / ``vblk_irq_enable_q`` take queue-block ids the
+  blkdev layer derives from the device's fixed block count (0..NQ_MAX),
+  and ``vblk_probe``'s queue count is clamped by the system config.
 - ``vdev.mmio`` holds an ``ioremap`` cookie (vmalloc window) from probe
-  until remove; the descriptor table and avail/used rings hold
-  ``kmalloc`` results; queue geometry fields are written once at setup
-  from compile-time constants and only ever advanced modulo the queue
-  size.
+  until remove; every queue pair's descriptor table and avail/used
+  rings hold ``kmalloc`` results; ring cursors are written once at
+  setup from compile-time constants and only ever advanced modulo the
+  (constant) queue size.
+
+The per-queue state is five *named* struct fields (``aq``, ``q1`` ..
+``q4``) — dotted field paths the verifier can resolve — so the contract
+set simply repeats the single-queue ring contracts once per block.  All
+five of a kind share one heap-area reserve, so their branch join stays
+a single interval atom.
 """
 
 from __future__ import annotations
 
 from ..passes.absint import ArgContract, ContractSet, FieldContract
-from .regs import BAR_SIZE, DEFAULT_QUEUE_ENTRIES, MAX_IO_SECTORS, SECTOR_SIZE, VDESC_SIZE
+from .regs import (
+    BAR_SIZE, DEFAULT_QUEUE_ENTRIES, MAX_IO_QUEUES, MAX_IO_SECTORS,
+    SECTOR_SIZE, VDESC_SIZE,
+)
 
 QUEUE_ENTRIES = DEFAULT_QUEUE_ENTRIES
 MAX_IO_BYTES = MAX_IO_SECTORS * SECTOR_SIZE
 
+#: Named per-queue fields of ``struct vblk_dev`` (block 0 first).
+QUEUE_FIELDS = ("aq", "q1", "q2", "q3", "q4")
+
+
+def _queue_contracts() -> list:
+    """The ring contracts, repeated for each queue block's named field."""
+    contracts = []
+    for field in QUEUE_FIELDS:
+        contracts += [
+            # descriptor table and index rings are kmalloc-backed
+            FieldContract("vdev", f"{field}.desc_virt", area="heap",
+                          reserve=QUEUE_ENTRIES * VDESC_SIZE),
+            FieldContract("vdev", f"{field}.avail_virt", area="heap",
+                          reserve=QUEUE_ENTRIES * 4),
+            FieldContract("vdev", f"{field}.used_virt", area="heap",
+                          reserve=QUEUE_ENTRIES * 4),
+            # ring cursors: set at setup, advanced modulo queue size
+            FieldContract("vdev", f"{field}.next_to_use",
+                          lo=0, hi=QUEUE_ENTRIES - 1),
+            FieldContract("vdev", f"{field}.next_to_clean",
+                          lo=0, hi=QUEUE_ENTRIES - 1),
+            FieldContract("vdev", f"{field}.used_head",
+                          lo=0, hi=QUEUE_ENTRIES - 1),
+        ]
+    return contracts
+
+
 VBLK_CONTRACTS = ContractSet([
     # blkdev hands submit a direct-map buffer of at least one max request
     ArgContract("vblk_submit_io", 0, area="heap", reserve=MAX_IO_BYTES),
+    # ...and a block-layer-computed queue id in 1..NQ_MAX
+    ArgContract("vblk_submit_io", 4, lo=1, hi=MAX_IO_QUEUES),
     # callers mask the register offset to the BAR before calling
     ArgContract("vblk_read_reg", 0, lo=0, hi=BAR_SIZE - 4),
+    # queue-block ids handed in by the blkdev layer: 0..NQ_MAX
+    ArgContract("vblk_poll_q", 0, lo=0, hi=MAX_IO_QUEUES),
+    ArgContract("vblk_irq_enable_q", 0, lo=0, hi=MAX_IO_QUEUES),
+    # the system config clamps the probe-time queue count to 1..NQ_MAX
+    ArgContract("vblk_probe", 1, lo=1, hi=MAX_IO_QUEUES),
     # probe-time ioremap cookie for the whole BAR, stable until remove
     FieldContract("vdev", "mmio", area="mmio", reserve=BAR_SIZE),
-    # descriptor table and index rings are kmalloc-backed
-    FieldContract("vdev", "q.desc_virt", area="heap",
-                  reserve=QUEUE_ENTRIES * VDESC_SIZE),
-    FieldContract("vdev", "q.avail_virt", area="heap",
-                  reserve=QUEUE_ENTRIES * 4),
-    FieldContract("vdev", "q.used_virt", area="heap",
-                  reserve=QUEUE_ENTRIES * 4),
-    # queue geometry: set once at setup, advanced modulo queue size
-    FieldContract("vdev", "q.count", lo=QUEUE_ENTRIES, hi=QUEUE_ENTRIES),
-    FieldContract("vdev", "q.next_to_use", lo=0, hi=QUEUE_ENTRIES - 1),
-    FieldContract("vdev", "q.next_to_clean", lo=0, hi=QUEUE_ENTRIES - 1),
-    FieldContract("vdev", "q.used_head", lo=0, hi=QUEUE_ENTRIES - 1),
-])
+] + _queue_contracts())
 
-__all__ = ["VBLK_CONTRACTS", "QUEUE_ENTRIES", "MAX_IO_BYTES"]
+__all__ = ["VBLK_CONTRACTS", "QUEUE_ENTRIES", "MAX_IO_BYTES", "QUEUE_FIELDS"]

@@ -106,7 +106,9 @@ class TestCheckFigure:
 
 class TestRendering:
     def test_every_known_figure_has_a_claim(self):
-        assert set(PAPER_CLAIMS) == {"fig3", "fig4", "fig5", "fig6", "fig7"}
+        assert set(PAPER_CLAIMS) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "figblk",
+        }
 
     def test_render_marks_failures(self):
         bad = _throughput("fig4", 120_000, 110_000)

@@ -29,6 +29,8 @@ class TestSchedules:
             assert inj.vblk_desc_garble() is False
             assert inj.vblk_completion_stall_cycles() == 0.0
             assert inj.vblk_writeback_drop() is False
+            assert inj.vblk_doorbell_drop() is False
+            assert inj.vblk_cq_stall_cycles() == 0.0
         assert inj.report() == {
             "garbled_reads": 0, "stalled_frames": 0,
             "dropped_irqs": 0, "failed_xmits": 0,
@@ -37,6 +39,7 @@ class TestSchedules:
             "quota_race_storms": 0,
             "garbled_descriptors": 0, "stalled_completions": 0,
             "dropped_writebacks": 0,
+            "dropped_doorbells": 0, "stalled_cqs": 0,
         }
 
     def test_every_nth_eligible_event_faults(self):

@@ -73,6 +73,22 @@ __export long conf_isr(long line) {
 }
 """
 
+#: vblk-only graft: a forged DMA descriptor targeting ANOTHER queue's
+#: ring.  The slot index is attacker-controlled, so the descriptor store
+#: computed off queue 1's contracted ring base can land anywhere —
+#: including inside queue 2's ring, handing the device a DMA target the
+#: submitting queue was never given.  The ring-base contract vouches for
+#: queue 1's own reservation only; the verifier must keep this guard
+#: dynamic even though *some* slot values land in policy-allowed heap.
+VBLK_XQUEUE_ATTACK = """
+__export long conf_xq_desc(long slot) {
+    long entry = vdev.q1.desc_virt + slot * 32;
+    long *forge = (long *)entry;
+    *forge = vdev.q2.desc_virt;
+    return entry;
+}
+"""
+
 DRIVERS = {
     NIC: (NIC_SOURCE, NIC_CONTRACTS),
     VBLK: (VBLK_SOURCE, VBLK_CONTRACTS),
@@ -211,6 +227,59 @@ def test_attack_guards_stay_dynamic_after_insmod(driver):
         assert policy.stats.denied > denied_before, f"{driver}/{cls}"
 
 
+def _vblk_xq_twin():
+    """The vblk conformance twin plus the cross-queue descriptor forge,
+    compiled once at -O3 with the production contracts in force."""
+    key = ("vblk+xq", 3)
+    compiled = _TWINS.get(key)
+    if compiled is None:
+        source, contracts = DRIVERS[VBLK]
+        opts = CompileOptions(module_name=VBLK, protect=True, opt_level=3)
+        template = Kernel()
+        policy = CaratPolicyModule(template, mode="audit").install()
+        PolicyManager(template).install_two_region_policy()
+        template.register_verify_contracts(contracts, module=VBLK)
+        opts.verify_table = policy.index
+        opts.contracts = contracts
+        compiled = _TWINS[key] = compile_module(
+            source + CONF_ATTACKS + VBLK_XQUEUE_ATTACK, opts
+        )
+    return compiled
+
+
+class TestCrossQueueDma:
+    """Multi-queue -O3 soundness: per-queue ring contracts never launder
+    a descriptor aimed at another queue's ring into a proven guard."""
+
+    def test_forged_descriptor_store_never_certified(self):
+        compiled = _vblk_xq_twin()
+        assert compiled.certificate is not None
+        verdicts = dict(compiled.certificate.verdicts)
+        bits = verdicts["conf_xq_desc"]
+        # The loads of the contracted ring-base fields may prove (they
+        # are module-global reads), but the forged store's guard must
+        # stay dynamic: at least one unproven guard in the function...
+        assert bits and 0 in bits, bits
+        # ...while the production driver around it still certifies.
+        assert compiled.guards_proven > 0
+
+    def test_forged_descriptor_takes_runtime_deny_after_elision(self):
+        """The installed elision set keeps the forge's deny live: on a
+        *verified* -O3 load, the attacker-indexed descriptor store still
+        hits its dynamic guard."""
+        kernel, policy, loaded = _cell("audit", "compiled", VBLK,
+                                       _vblk_xq_twin())
+        assert loaded.verify_state == "verified"
+        assert loaded.elided_guards
+        denied_before = policy.stats.denied
+        try:
+            kernel.run_function(loaded, "conf_xq_desc", [(1 << 40) + 1])
+        except MemoryFault:
+            pass
+        assert policy.stats.denied > denied_before
+        assert policy.violations.get(VBLK, 0) >= 1
+
+
 class TestVblkSmpIdentity:
     def test_blkblast_bit_identical_across_cpus(self):
         """The vblk stack honours the SMP determinism contract: the same
@@ -229,3 +298,31 @@ class TestVblkSmpIdentity:
                 system.blkdev.stats()["data_sig"],
             ))
         assert results[0] == results[1] == results[2]
+
+    def test_blkblast_media_identical_across_cpus_at_queues_auto(self):
+        """With ``queues="auto"`` each CPU owns its own queue pair, so
+        cycle counts legitimately change with the CPU count (that is the
+        multi-queue speedup) — but the functional outcome and the final
+        media image must not."""
+        import hashlib
+
+        fingerprints = []
+        cycles = {}
+        for cpus in (1, 2, 4):
+            system = CaratKopSystem(SystemConfig(
+                machine="r415", driver="vblk", opt_level=3, cpus=cpus,
+                queues="auto",
+            ))
+            res = system.blkblast(count=120, nsect=8, pattern="rand",
+                                  seed=11, read_frac=40, flush_interval=8)
+            fingerprints.append((
+                res.ops_done, res.reads, res.writes, res.flushes,
+                res.errors, res.bytes_read, res.bytes_written,
+                system.blkdev.stats()["data_sig"],
+                hashlib.sha256(bytes(system.device.store)).hexdigest(),
+            ))
+            cycles[cpus] = res.total_cycles
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+        # Independent per-queue media channels: more queues, less wall
+        # clock on a device-bound workload.
+        assert cycles[4] < cycles[1]
